@@ -1,0 +1,28 @@
+// Shared helpers for the figure-reproduction harnesses: uniform table
+// printing and optional CSV emission.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace ncsw::bench {
+
+/// Print the table to stdout; write CSV too when --csv was given.
+inline void emit(const util::Table& table, const util::Cli& cli) {
+  std::cout << table.to_string() << std::flush;
+  const std::string csv = cli.get_string("csv");
+  if (!csv.empty()) {
+    util::write_file(csv, table.to_csv());
+    std::cout << "(csv written to " << csv << ")\n";
+  }
+}
+
+/// Register the flags every harness shares.
+inline void add_common_flags(util::Cli& cli) {
+  cli.add_string("csv", "", "also write the table as CSV to this path");
+}
+
+}  // namespace ncsw::bench

@@ -1,0 +1,76 @@
+// General-purpose offload example — the paper's Section VII future work:
+// "integrating the VPU chip as a conventional vector processor for
+// general-purpose computing". A host application offloads the tensor
+// kernels of a small iterative solver step (GEMM + AXPY + DOT) to the
+// simulated Myriad 2 through the MDK context and reads back verified
+// results plus energy figures.
+//
+// Build & run:  ./build/examples/gemm_offload [--n 512]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mdk/mdk.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+using namespace ncsw;
+
+int main(int argc, char** argv) {
+  util::Cli cli("gemm_offload",
+                "offload GEMM/AXPY/DOT to the simulated Myriad 2");
+  cli.add_int("n", 512, "square matrix dimension");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+
+  mdk::MdkContext ctx;
+  util::Xoshiro256 rng(7);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+
+  // 1. The compile step: plan the CMX tiling.
+  const auto plan = ctx.plan_gemm(n, n, n, graphc::Precision::kFP32);
+  std::printf("GEMM plan: %lldx%lldx%lld tiles of %lldx%lldx%lld, "
+              "%lld tasks, %.1f KB CMX per task\n",
+              (long long)n, (long long)n, (long long)n,
+              (long long)plan.tile_m, (long long)plan.tile_n,
+              (long long)plan.tile_k, (long long)plan.tasks,
+              static_cast<double>(plan.cmx_bytes_per_task) / 1024.0);
+
+  // 2. Run C = A*B on the chip (functional + timed).
+  const auto gemm_stats = ctx.gemm_f32(n, n, n, a.data(), b.data(), c.data());
+  std::printf("GEMM: %.3f ms simulated | %.1f GFLOP/s | %.2f W | "
+              "%.1f Gflops/W | SHAVE util %.0f%%\n",
+              gemm_stats.sim_time_s * 1e3, gemm_stats.gflops,
+              gemm_stats.avg_power_w, gemm_stats.gflops_per_w,
+              gemm_stats.shave_utilization * 100);
+
+  // Spot-verify one output element against a host dot product.
+  double ref = 0;
+  for (std::int64_t k = 0; k < n; ++k) ref += a[k] * b[k * n + 3];
+  std::printf("verify C[0,3]: device %.5f vs host %.5f (|diff| %.2e)\n",
+              c[3], ref, std::abs(c[3] - ref));
+
+  // 3. y += 0.5 * x on the chip (bandwidth-bound).
+  std::vector<float> x(n * n, 1.0f), y(n * n, 2.0f);
+  const auto axpy_stats = ctx.axpy_f32(n * n, 0.5f, x.data(), y.data());
+  std::printf("AXPY (%lld elems): %.3f ms | %.1f GB/s effective\n",
+              (long long)(n * n), axpy_stats.sim_time_s * 1e3,
+              3.0 * static_cast<double>(n * n) * 4.0 /
+                  axpy_stats.sim_time_s / 1e9);
+
+  // 4. dot(x, y) reduction.
+  double dot = 0;
+  const auto dot_stats = ctx.dot_f32(n * n, x.data(), y.data(), &dot);
+  std::printf("DOT: %.4f (expect %.1f) in %.3f ms\n", dot,
+              2.5 * static_cast<double>(n * n), dot_stats.sim_time_s * 1e3);
+
+  std::printf("\nenergy for the whole step: %.1f mJ at ~%.2f W — the "
+              "co-processor runs HPC tensor kernels inside a 1 W "
+              "envelope.\n",
+              (gemm_stats.energy_j + axpy_stats.energy_j +
+               dot_stats.energy_j) * 1e3,
+              gemm_stats.avg_power_w);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The paper's HPC vision (Sections III & V): a scientific application
+// produces a *stream* of data (the MPI-stream style input source the
+// NCSw class diagram anticipates) and offloads the tensor-classification
+// part to a low-power VPU group, while another stream is routed to the
+// GPU — "different sources can be easily connected to the same or
+// multiple targets".
+//
+// Build & run:  ./build/examples/hpc_stream_offload
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "core/application.h"
+#include "core/host_target.h"
+#include "core/vpu_target.h"
+
+using namespace ncsw;
+
+namespace {
+
+// Producer standing in for an MPI stream endpoint: a simulation rank
+// emitting snapshot "images" to classify.
+core::StreamSource::Producer make_rank_producer(
+    std::shared_ptr<const dataset::SyntheticImageNet> data, int subset,
+    int count) {
+  auto next = std::make_shared<std::atomic<int>>(0);
+  return [data, subset, count, next]() -> std::optional<core::SourceItem> {
+    const int i = next->fetch_add(1);
+    if (i >= count) return std::nullopt;
+    auto sample = data->sample(subset, i);
+    core::SourceItem item;
+    item.image = std::move(sample.image);
+    item.label = sample.label;
+    item.id = "rank" + std::to_string(subset) + "/" + std::to_string(i);
+    return item;
+  };
+}
+
+}  // namespace
+
+int main() {
+  dataset::DatasetConfig data_cfg;
+  data_cfg.num_classes = 30;
+  auto data = std::make_shared<dataset::SyntheticImageNet>(data_cfg);
+  auto bundle = core::ModelBundle::tiny_functional(*data, {32, 0});
+
+  core::Preprocessor prep;
+  prep.input_size = bundle->input_size();
+  prep.means = data->means();
+  core::Application app(prep);
+
+  // Target group 0: the GPU reference. Target group 1: four NCS sticks.
+  const auto gpu_idx = app.add_target(core::make_gpu_target(bundle));
+  core::VpuTargetConfig vcfg;
+  vcfg.devices = 4;
+  const auto vpu_idx =
+      app.add_target(std::make_shared<core::VpuTarget>(bundle, vcfg));
+
+  // Two streaming sources, as if two MPI ranks were feeding us.
+  const int kPerRank = 60;
+  core::StreamSource rank0(make_rank_producer(data, 0, kPerRank), 8);
+  core::StreamSource rank1(make_rank_producer(data, 1, kPerRank), 8);
+
+  // Route rank 0 to the GPU and rank 1 to the VPU group, concurrently
+  // consuming both streams.
+  std::printf("routing stream rank0 -> GPU, stream rank1 -> VPU group (%d "
+              "sticks)\n",
+              vcfg.devices);
+  const auto gpu_job = app.run_classification(rank0, gpu_idx);
+  const auto vpu_job = app.run_classification(rank1, vpu_idx);
+
+  std::printf("\n%-18s %-8s %-10s\n", "stream -> target", "images",
+              "top-1 err");
+  std::printf("%-18s %-8zu %-9.2f%%\n", "rank0 -> GPU", gpu_job.items.size(),
+              gpu_job.top1_error() * 100.0);
+  std::printf("%-18s %-8zu %-9.2f%%\n", "rank1 -> VPU", vpu_job.items.size(),
+              vpu_job.top1_error() * 100.0);
+
+  // Power story (Section V): per-node energy budget for the offload.
+  std::printf("\nenergy perspective (TDP basis): the VPU group draws "
+              "%.1f W vs the GPU's %.0f W for comparable throughput — the "
+              "paper's 8x TDP reduction.\n",
+              2.5 * vcfg.devices * 2, 80.0);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The paper's core scenario (Section III / Fig. 4): batch classification
+// of an ILSVRC-style validation subset on a *group of eight NCS sticks*,
+// compared against the CPU reference implementation — both through the
+// NCSw Source/Target framework.
+//
+// Build & run:  ./build/examples/multi_vpu_offload [--images N]
+#include <cstdio>
+#include <memory>
+
+#include "core/application.h"
+#include "core/host_target.h"
+#include "core/vpu_target.h"
+#include "util/cli.h"
+
+using namespace ncsw;
+
+int main(int argc, char** argv) {
+  util::Cli cli("multi_vpu_offload",
+                "classify a validation subset on 8 sticks vs the CPU");
+  cli.add_int("images", 200, "images to classify (functional inference)");
+  cli.add_int("devices", 8, "NCS sticks in the group");
+  cli.add_int("classes", 50, "synthetic ILSVRC classes");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Dataset + functional model bundle (shared by every target).
+  dataset::DatasetConfig data_cfg;
+  data_cfg.num_classes = static_cast<int>(cli.get_int("classes"));
+  auto data = std::make_shared<dataset::SyntheticImageNet>(data_cfg);
+  auto bundle = core::ModelBundle::tiny_functional(*data, {32, 0});
+  std::printf("model: %s (%d classes, %.1f MMACs)\n",
+              bundle->graph.name().c_str(), bundle->num_classes(),
+              static_cast<double>(bundle->macs) / 1e6);
+
+  // NCSw application: one source, two targets (CPU FP32, multi-VPU FP16).
+  core::Preprocessor prep;
+  prep.input_size = bundle->input_size();
+  prep.means = data->means();
+  core::Application app(prep);
+  app.add_target(core::make_cpu_target(bundle));
+  core::VpuTargetConfig vcfg;
+  vcfg.devices = static_cast<int>(cli.get_int("devices"));
+  auto vpu = std::make_shared<core::VpuTarget>(bundle, vcfg);
+  app.add_target(vpu);
+
+  // Classify one subset on both targets over the same drained items.
+  core::ImageFolderSource source(data, /*subset=*/0, cli.get_int("images"));
+  const auto jobs = app.run_on_all_targets(source);
+
+  std::printf("\n%-12s %-10s %-10s\n", "target", "top-1 err", "images");
+  for (const auto& job : jobs) {
+    std::printf("%-12s %-10.2f %zu\n", job.target.c_str(),
+                job.top1_error() * 100.0, job.items.size());
+  }
+  std::printf("FP32 vs FP16 confidence difference (misses filtered): %.3f%%\n",
+              core::confidence_difference(jobs[0], jobs[1]) * 100.0);
+
+  // Throughput on the simulated clock (GoogLeNet-sized workload).
+  auto timing_bundle = core::ModelBundle::googlenet_reference();
+  core::VpuTarget timing_vpu(timing_bundle, vcfg);
+  auto cpu = core::make_cpu_target(timing_bundle);
+  const auto cpu_run = cpu->run_timed(2000, 8);
+  const auto vpu_run = timing_vpu.run_timed(2000, vcfg.devices);
+  std::printf("\nGoogLeNet throughput (simulated testbed):\n");
+  std::printf("  CPU (batch 8):        %6.1f img/s @ %2.0f W TDP -> %.2f img/W\n",
+              cpu_run.throughput(), cpu->tdp_w(8),
+              cpu_run.throughput() / cpu->tdp_w(8));
+  std::printf("  VPU group (%d sticks): %6.1f img/s @ %2.0f W TDP -> %.2f img/W\n",
+              vcfg.devices, vpu_run.throughput(),
+              timing_vpu.tdp_w(vcfg.devices),
+              vpu_run.throughput() / timing_vpu.tdp_w(vcfg.devices));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Precision study (paper Section IV-B): where does FP16 actually diverge
+// from FP32 inside the network? Runs the same image through the FP32 and
+// FP16 engines with all activations retained and reports the per-layer
+// maximum absolute difference — the layer-level view behind Fig. 7b's
+// "negligible confidence differences" conclusion.
+//
+// Build & run:  ./build/examples/precision_study
+#include <cstdio>
+#include <iostream>
+
+#include "core/model.h"
+#include "nn/executor.h"
+#include "util/table.h"
+
+using namespace ncsw;
+
+int main() {
+  dataset::DatasetConfig data_cfg;
+  data_cfg.num_classes = 20;
+  const dataset::SyntheticImageNet data(data_cfg);
+  auto bundle = core::ModelBundle::tiny_functional(data, {32, 0});
+
+  const auto sample = data.sample(0, 3);
+  const auto input_f32 = data.preprocess(sample.image, bundle->input_size());
+  const auto input_f16 = tensor::tensor_cast<fp16::half>(input_f32);
+
+  nn::ExecOptions opts;
+  opts.keep_all_activations = true;
+  const auto run_f32 =
+      nn::run_forward(bundle->graph, bundle->weights_f32, input_f32, opts);
+  const auto run_f16 =
+      nn::run_forward(bundle->graph, bundle->weights_f16, input_f16, opts);
+
+  util::Table table("Per-layer FP32 vs FP16 divergence (one image)");
+  table.set_header({"Layer", "Kind", "Shape", "max |FP32-FP16|"});
+  for (int id = 0; id < bundle->graph.size(); ++id) {
+    const auto& layer = bundle->graph.layer(id);
+    const double diff = tensor::max_abs_diff(
+        run_f32.activations[static_cast<std::size_t>(id)],
+        run_f16.activations[static_cast<std::size_t>(id)]);
+    table.add_row({layer.name, nn::layer_kind_name(layer.kind),
+                   layer.out_shape.to_string(), util::Table::num(diff, 5)});
+  }
+  table.print(std::cout);
+
+  const auto& out32 = run_f32.output;
+  const auto& out16 = run_f16.output;
+  int arg32 = 0, arg16 = 0;
+  for (std::int64_t i = 1; i < out32.numel(); ++i) {
+    if (out32[i] > out32[arg32]) arg32 = static_cast<int>(i);
+    if (static_cast<float>(out16[i]) > static_cast<float>(out16[arg16])) {
+      arg16 = static_cast<int>(i);
+    }
+  }
+  std::printf("\nFP32 top-1: class %d (%.4f) | FP16 top-1: class %d (%.4f) "
+              "| ground truth: %d\n",
+              arg32, out32[arg32], arg16,
+              static_cast<float>(out16[arg16]), sample.label);
+  std::printf("softmax max divergence: %.5f — divergence grows through the "
+              "conv stack but softmax re-normalisation keeps the final "
+              "confidences within a fraction of a percent (Fig. 7b).\n",
+              tensor::max_abs_diff(out32, out16));
+  return 0;
+}

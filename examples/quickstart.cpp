@@ -1,0 +1,130 @@
+// Quickstart: the paper's Listing 1, end to end, against the simulated
+// Neural Compute Stick.
+//
+//   1. configure a simulated host with one NCS stick,
+//   2. compile a network to a graph file (the mvNCCompile step),
+//   3. open the device and allocate the graph over the NCAPI,
+//   4. mvncLoadTensor(...)   -- returns as soon as the input is queued,
+//   5. ...overlap other host work...,
+//   6. mvncGetResult(...)    -- blocks until the inference finished,
+//   7. read the class probabilities and the per-layer profile.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "dataset/synthetic.h"
+#include "graphc/compiler.h"
+#include "mvnc/mvnc.h"
+#include "mvnc/sim_host.h"
+#include "nn/executor.h"
+#include "nn/googlenet.h"
+#include "tensor/tensor.h"
+
+using namespace ncsw;
+
+int main() {
+  // --- set up the simulated host (one stick on a USB 3.0 root port) ----
+  mvnc::HostConfig host;
+  host.devices = 1;
+  host.topology = mvnc::HostConfig::Topology::kAllDirect;
+  mvnc::host_reset(host);
+
+  // --- build + "train" + compile the network --------------------------
+  // TinyGoogLeNet with a template-fitted classifier over the synthetic
+  // dataset (stand-in for downloading the BVLC caffemodel).
+  dataset::DatasetConfig data_cfg;
+  data_cfg.num_classes = 20;
+  const dataset::SyntheticImageNet data(data_cfg);
+
+  const nn::TinyGoogLeNetConfig net_cfg{32, data_cfg.num_classes};
+  const nn::Graph net = nn::build_tiny_googlenet(net_cfg);
+  nn::WeightsF weights = nn::init_msra(net, /*seed=*/7);
+  nn::fit_template_classifier(net, weights, "loss3/classifier",
+                              data.prototype_tensors(net_cfg.input_size));
+  const nn::WeightsH weights_f16 = nn::to_fp16(weights);
+
+  const auto compiled = graphc::compile(net, graphc::Precision::kFP16);
+  const auto graph_file = graphc::serialize(compiled);
+  std::printf("compiled %s: %zu layers, %.1f MMACs, graph file %zu bytes\n",
+              compiled.net_name.c_str(), compiled.layers.size(),
+              static_cast<double>(compiled.total_macs()) / 1e6,
+              graph_file.size());
+
+  // --- open the stick and allocate the graph (NCAPI) ------------------
+  char name[64];
+  if (mvnc::mvncGetDeviceName(0, name, sizeof(name)) != mvnc::MVNC_OK) {
+    std::fprintf(stderr, "no NCS device found\n");
+    return 1;
+  }
+  void* device = nullptr;
+  if (mvnc::mvncOpenDevice(name, &device) != mvnc::MVNC_OK) {
+    std::fprintf(stderr, "mvncOpenDevice(%s) failed\n", name);
+    return 1;
+  }
+  std::printf("opened device %s\n", name);
+
+  void* graph = nullptr;
+  if (mvnc::mvncAllocateGraph(device, &graph, graph_file.data(),
+                              static_cast<unsigned int>(graph_file.size())) !=
+      mvnc::MVNC_OK) {
+    std::fprintf(stderr, "mvncAllocateGraph failed\n");
+    return 1;
+  }
+  // Attach the functional network so the simulated stick computes real
+  // probabilities (a real stick gets the weights inside the graph file).
+  mvnc::set_functional_network(graph, &net, &weights_f16);
+
+  // --- classify one image (Listing 1) ---------------------------------
+  const auto sample = data.sample(/*subset=*/0, /*index=*/0);
+  const auto input_f32 = data.preprocess(sample.image, net_cfg.input_size);
+  const auto input_f16 = tensor::tensor_cast<fp16::half>(input_f32);
+
+  // Load the graph with the input image.
+  if (mvnc::mvncLoadTensor(graph, input_f16.data(),
+                           static_cast<unsigned int>(input_f16.numel() * 2),
+                           nullptr) != mvnc::MVNC_OK) {
+    std::fprintf(stderr, "mvncLoadTensor failed\n");
+    return 1;
+  }
+
+  /******************************************
+   * Perform other overlapping computations *
+   ******************************************/
+
+  // Retrieve the inference result from the NCS.
+  void* output = nullptr;
+  unsigned int output_size = 0;
+  if (mvnc::mvncGetResult(graph, &output, &output_size, nullptr) !=
+      mvnc::MVNC_OK) {
+    std::fprintf(stderr, "mvncGetResult failed\n");
+    return 1;
+  }
+
+  const auto* probs_f16 = static_cast<const fp16::half*>(output);
+  std::vector<float> probs(output_size / 2);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = static_cast<float>(probs_f16[i]);
+  }
+  std::printf("\nground-truth class: %d — top-5 predictions:\n",
+              sample.label);
+  for (const auto& [cls, p] : nn::top_k(probs, 5)) {
+    std::printf("  class %2d  confidence %.4f%s\n", cls, p,
+                cls == sample.label ? "   <-- correct" : "");
+  }
+
+  // --- inference timing, the way the NCSDK reports it ------------------
+  const auto ticket = mvnc::last_ticket(graph);
+  if (ticket) {
+    std::printf("\nsimulated stick timing: transfer %.3f ms | execute "
+                "%.3f ms | total %.3f ms\n",
+                (ticket->input_done - ticket->issue) * 1e3,
+                (ticket->exec_end - ticket->exec_start) * 1e3,
+                (ticket->result_ready - ticket->issue) * 1e3);
+  }
+
+  mvnc::mvncDeallocateGraph(graph);
+  mvnc::mvncCloseDevice(device);
+  std::printf("done.\n");
+  return 0;
+}

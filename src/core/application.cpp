@@ -1,0 +1,171 @@
+#include "core/application.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "imgproc/ops.h"
+#include "nn/executor.h"
+
+namespace ncsw::core {
+
+tensor::TensorF Preprocessor::operator()(const imgproc::Image& image) const {
+  const imgproc::Image resized =
+      imgproc::resize_bilinear(image, input_size, input_size);
+  return imgproc::to_tensor_f32(resized, means);
+}
+
+double ClassificationJob::top1_error() const {
+  std::int64_t n = 0, wrong = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].label < 0) continue;
+    ++n;
+    if (predictions.at(i).label != items[i].label) ++wrong;
+  }
+  return n > 0 ? static_cast<double>(wrong) / static_cast<double>(n) : 0.0;
+}
+
+double ClassificationJob::topk_error(int k) const {
+  std::int64_t n = 0, wrong = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].label < 0) continue;
+    ++n;
+    const auto top = nn::top_k(predictions.at(i).probs, k);
+    bool hit = false;
+    for (const auto& [cls, p] : top) {
+      if (cls == items[i].label) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) ++wrong;
+  }
+  return n > 0 ? static_cast<double>(wrong) / static_cast<double>(n) : 0.0;
+}
+
+std::int64_t ClassificationJob::labelled() const {
+  std::int64_t n = 0;
+  for (const auto& item : items) {
+    if (item.label >= 0) ++n;
+  }
+  return n;
+}
+
+double confidence_difference(const ClassificationJob& a,
+                             const ClassificationJob& b) {
+  if (a.items.size() != b.items.size() ||
+      a.predictions.size() != b.predictions.size()) {
+    throw std::invalid_argument("confidence_difference: job size mismatch");
+  }
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    const int label = a.items[i].label;
+    if (label < 0 || a.items[i].id != b.items[i].id) {
+      if (a.items[i].id != b.items[i].id) {
+        throw std::invalid_argument("confidence_difference: item mismatch");
+      }
+      continue;
+    }
+    // Filter the top-1 miss-predictions of either implementation.
+    if (a.predictions[i].label != label || b.predictions[i].label != label) {
+      continue;
+    }
+    sum += std::abs(static_cast<double>(a.predictions[i].confidence) -
+                    static_cast<double>(b.predictions[i].confidence));
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<std::int64_t> plan_partition(
+    std::int64_t images, const std::vector<double>& throughputs) {
+  if (images < 0 || throughputs.empty()) {
+    throw std::invalid_argument("plan_partition: bad arguments");
+  }
+  double total = 0.0;
+  for (double t : throughputs) {
+    if (!(t >= 0.0) || !std::isfinite(t)) {
+      throw std::invalid_argument("plan_partition: bad throughput");
+    }
+    total += t;
+  }
+  std::vector<std::int64_t> shares(throughputs.size(), 0);
+  if (total <= 0.0 || images == 0) {
+    // Degenerate: dump everything on target 0.
+    if (!shares.empty()) shares[0] = images;
+    return shares;
+  }
+  // Largest-remainder apportionment: proportional floors, leftovers to
+  // the largest fractional parts.
+  std::int64_t assigned = 0;
+  std::vector<std::pair<double, std::size_t>> fractions;
+  for (std::size_t i = 0; i < throughputs.size(); ++i) {
+    const double exact =
+        static_cast<double>(images) * throughputs[i] / total;
+    shares[i] = static_cast<std::int64_t>(exact);
+    assigned += shares[i];
+    fractions.emplace_back(exact - static_cast<double>(shares[i]), i);
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::int64_t left = images - assigned; left > 0; --left) {
+    ++shares[fractions[static_cast<std::size_t>(images - assigned - left)]
+                 .second];
+  }
+  return shares;
+}
+
+std::size_t Application::add_target(std::shared_ptr<Target> target) {
+  if (!target) throw std::invalid_argument("add_target: null target");
+  targets_.push_back(std::move(target));
+  return targets_.size() - 1;
+}
+
+std::vector<SourceItem> Application::drain(Source& source,
+                                           std::int64_t limit) const {
+  std::vector<SourceItem> items;
+  while (limit < 0 || static_cast<std::int64_t>(items.size()) < limit) {
+    auto item = source.next();
+    if (!item) break;
+    items.push_back(std::move(*item));
+  }
+  return items;
+}
+
+std::vector<tensor::TensorF> Application::preprocess_all(
+    const std::vector<SourceItem>& items) const {
+  std::vector<tensor::TensorF> inputs;
+  inputs.reserve(items.size());
+  for (const auto& item : items) inputs.push_back(preprocessor_(item.image));
+  return inputs;
+}
+
+ClassificationJob Application::run_classification(Source& source,
+                                                  std::size_t target_index,
+                                                  std::int64_t limit) {
+  Target& tgt = target(target_index);
+  ClassificationJob job;
+  job.target = tgt.short_name();
+  job.items = drain(source, limit);
+  job.predictions = tgt.classify(preprocess_all(job.items));
+  return job;
+}
+
+std::vector<ClassificationJob> Application::run_on_all_targets(
+    Source& source, std::int64_t limit) {
+  const std::vector<SourceItem> items = drain(source, limit);
+  const std::vector<tensor::TensorF> inputs = preprocess_all(items);
+  std::vector<ClassificationJob> jobs;
+  jobs.reserve(targets_.size());
+  for (auto& tgt : targets_) {
+    ClassificationJob job;
+    job.target = tgt->short_name();
+    job.items = items;
+    job.predictions = tgt->classify(inputs);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace ncsw::core

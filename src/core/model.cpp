@@ -1,0 +1,40 @@
+#include "core/model.h"
+
+#include <stdexcept>
+
+namespace ncsw::core {
+
+std::shared_ptr<const ModelBundle> ModelBundle::googlenet_reference() {
+  auto bundle = std::make_shared<ModelBundle>();
+  bundle->graph = nn::build_googlenet();
+  bundle->compiled_f16 =
+      graphc::compile(bundle->graph, graphc::Precision::kFP16);
+  bundle->graph_blob = graphc::serialize(bundle->compiled_f16);
+  bundle->macs = bundle->compiled_f16.total_macs();
+  return bundle;
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::tiny_functional(
+    const dataset::SyntheticImageNet& data,
+    const nn::TinyGoogLeNetConfig& config, std::uint64_t weight_seed) {
+  nn::TinyGoogLeNetConfig cfg = config;
+  cfg.num_classes = data.num_classes();
+
+  auto bundle = std::make_shared<ModelBundle>();
+  bundle->graph = nn::build_tiny_googlenet(cfg);
+  bundle->weights_f32 = nn::init_msra(bundle->graph, weight_seed);
+  nn::fit_template_classifier(bundle->graph, bundle->weights_f32,
+                              "loss3/classifier",
+                              data.prototype_tensors(cfg.input_size));
+  bundle->weights_f16 = nn::to_fp16(bundle->weights_f32);
+  bundle->compiled_f16 =
+      graphc::compile(bundle->graph, graphc::Precision::kFP16);
+  // Self-contained graph file: structure + FP16 weights embedded, so the
+  // stick can execute functionally from the blob alone.
+  bundle->graph_blob = graphc::serialize_package(
+      bundle->compiled_f16, &bundle->graph, &bundle->weights_f16);
+  bundle->macs = bundle->compiled_f16.total_macs();
+  return bundle;
+}
+
+}  // namespace ncsw::core

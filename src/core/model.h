@@ -1,0 +1,52 @@
+// Model bundle: everything a Target needs to run one network — the graph,
+// its FP32 master weights, the FP16 conversion for the VPU, and the
+// compiled graph file. Mirrors the artefacts of the paper's toolchain
+// (prototxt + caffemodel + mvNCCompile output).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dataset/synthetic.h"
+#include "graphc/compiler.h"
+#include "nn/googlenet.h"
+
+namespace ncsw::core {
+
+/// Immutable model artefacts shared by all targets (held by shared_ptr so
+/// targets can keep it alive).
+struct ModelBundle {
+  nn::Graph graph{"empty"};
+  nn::WeightsF weights_f32;           ///< empty for timing-only bundles
+  nn::WeightsH weights_f16;
+  graphc::CompiledGraph compiled_f16; ///< what ships to the stick
+  std::vector<std::uint8_t> graph_blob;  ///< serialised compiled_f16
+  std::int64_t macs = 0;
+
+  /// True when the bundle carries real parameters (functional inference).
+  bool functional() const noexcept { return weights_f32.size() > 0; }
+
+  /// Network input edge (square).
+  int input_size() const noexcept {
+    return static_cast<int>(compiled_f16.input_shape.h);
+  }
+  /// Number of output classes.
+  int num_classes() const noexcept {
+    return static_cast<int>(compiled_f16.num_outputs);
+  }
+
+  /// Timing-only bundle of the full BVLC GoogLeNet (no weights): drives
+  /// all throughput / scaling / power figures.
+  static std::shared_ptr<const ModelBundle> googlenet_reference();
+
+  /// Functional TinyGoogLeNet bundle: MSRA-initialised features with the
+  /// final classifier template-fitted against `data`'s class prototypes.
+  /// Drives the error-rate figures.
+  static std::shared_ptr<const ModelBundle> tiny_functional(
+      const dataset::SyntheticImageNet& data,
+      const nn::TinyGoogLeNetConfig& config = {},
+      std::uint64_t weight_seed = 0xbadcafeULL);
+};
+
+}  // namespace ncsw::core

@@ -1,0 +1,72 @@
+// Target abstraction — the right-hand side of the paper's Fig. 3 class
+// diagram. A Target is "where to conduct inference": the Intel CPU, the
+// NVIDIA GPU, or a group of one-to-many NCS devices. Targets offer two
+// services:
+//
+//  * run_timed()  — a throughput run of N images at a batch size on the
+//    simulated clock (how every performance figure is produced), and
+//  * classify()   — functional inference on real tensors (how the
+//    error-rate figures are produced).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "tensor/tensor.h"
+#include "util/stats.h"
+
+namespace ncsw::core {
+
+/// Functional classification output for one image.
+struct Prediction {
+  int label = -1;           ///< argmax class
+  float confidence = 0.0f;  ///< probability of `label`
+  std::vector<float> probs; ///< full distribution
+};
+
+/// Result of a timed (simulated) throughput run.
+struct TimedRun {
+  std::int64_t images = 0;
+  double seconds = 0.0;               ///< simulated makespan
+  util::RunningStats per_image_ms;    ///< distribution of per-image latency
+
+  /// Images per simulated second.
+  double throughput() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(images) / seconds : 0.0;
+  }
+};
+
+/// Abstract inference target.
+class Target {
+ public:
+  virtual ~Target() = default;
+
+  /// Full device description.
+  virtual std::string name() const = 0;
+  /// Column label used by the figures ("CPU", "GPU", "VPU (Multi)").
+  virtual std::string short_name() const = 0;
+
+  /// TDP used by Eq. (1) at a given batch size. For the multi-VPU target
+  /// the paper couples the number of active sticks to the batch size, so
+  /// TDP grows with it; CPU/GPU TDP is constant.
+  virtual double tdp_w(int batch) const = 0;
+
+  /// Largest batch size this target accepts.
+  virtual int max_batch() const = 0;
+
+  /// Simulated throughput run of `images` inputs at batch size `batch`.
+  virtual TimedRun run_timed(std::int64_t images, int batch) = 0;
+
+  /// Functional inference on preprocessed FP32 inputs (each 1xCxHxW).
+  /// Requires a functional model bundle.
+  virtual std::vector<Prediction> classify(
+      const std::vector<tensor::TensorF>& inputs) = 0;
+};
+
+/// Build a Prediction from a probability vector.
+Prediction make_prediction(std::vector<float> probs);
+
+}  // namespace ncsw::core

@@ -1,0 +1,242 @@
+#include "core/vpu_target.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "mvnc/mvnc.h"
+#include "myriad/myriad.h"
+
+namespace ncsw::core {
+
+using mvnc::mvncStatus;
+
+VpuTarget::VpuTarget(std::shared_ptr<const ModelBundle> bundle,
+                     const VpuTargetConfig& config)
+    : bundle_(std::move(bundle)), config_(config) {
+  if (!bundle_) throw std::invalid_argument("VpuTarget: null bundle");
+  if (config_.devices < 1) throw std::invalid_argument("VpuTarget: devices < 1");
+  open_all();
+}
+
+VpuTarget::~VpuTarget() { close_all(); }
+
+void VpuTarget::open_all() {
+  mvnc::HostConfig host;
+  host.devices = config_.devices;
+  host.topology = config_.topology;
+  host.ncs = config_.ncs;
+  host.degraded_device = config_.degraded_device;
+  host.degraded_factor = config_.degraded_factor;
+  mvnc::host_reset(host);
+
+  for (int d = 0; d < config_.devices; ++d) {
+    char name[64];
+    if (mvnc::mvncGetDeviceName(d, name, sizeof(name)) != mvnc::MVNC_OK) {
+      throw std::runtime_error("VpuTarget: device enumeration failed");
+    }
+    void* dev = nullptr;
+    if (mvnc::mvncOpenDevice(name, &dev) != mvnc::MVNC_OK) {
+      throw std::runtime_error("VpuTarget: mvncOpenDevice failed");
+    }
+    device_handles_.push_back(dev);
+
+    void* graph = nullptr;
+    const auto& blob = bundle_->graph_blob;
+    if (mvnc::mvncAllocateGraph(dev, &graph, blob.data(),
+                                static_cast<unsigned int>(blob.size())) !=
+        mvnc::MVNC_OK) {
+      throw std::runtime_error("VpuTarget: mvncAllocateGraph failed");
+    }
+    graph_handles_.push_back(graph);
+    // Functional bundles ship their network + FP16 weights inside the
+    // graph file (graphc::serialize_package), so the stick computes real
+    // outputs with no further setup.
+  }
+}
+
+void VpuTarget::close_all() {
+  for (void* g : graph_handles_) mvnc::mvncDeallocateGraph(g);
+  graph_handles_.clear();
+  for (void* d : device_handles_) mvnc::mvncCloseDevice(d);
+  device_handles_.clear();
+}
+
+std::string VpuTarget::name() const {
+  return "Intel Movidius Myriad 2 VPU x" + std::to_string(config_.devices) +
+         " (NCS, FP16)";
+}
+
+double VpuTarget::tdp_w(int batch) const {
+  const int active = std::clamp(batch, 1, config_.devices);
+  return myriad::TdpConstants::kNcsStickW * active;
+}
+
+TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
+  if (images < 1) throw std::invalid_argument("run_timed: images < 1");
+  if (batch < 1 || batch > max_batch()) {
+    throw std::invalid_argument("run_timed: bad batch for VPU target");
+  }
+  const int active = batch;  // the paper couples sticks to batch size
+  const double gap = active > 1 ? config_.thread_gap_s : config_.single_gap_s;
+
+  // Align all active sticks on a common start, staggered by thread spawn.
+  double t0 = 0.0;
+  for (int d = 0; d < active; ++d) {
+    t0 = std::max(t0, mvnc::host_time(graph_handles_[d]).value_or(0.0));
+  }
+  std::vector<std::uint8_t> input(
+      static_cast<std::size_t>(bundle_->compiled_f16.input_bytes()), 0);
+
+  TimedRun run;
+  run.images = images;
+  double last_completion = t0;
+  for (int d = 0; d < active; ++d) {
+    void* graph = graph_handles_[d];
+    mvnc::set_host_time(graph, t0 + (active > 1 ? d * config_.thread_spawn_s
+                                                : 0.0));
+    mvnc::set_inter_op_gap(graph, gap);
+  }
+  // Deterministic replay of the threaded runner: images are issued across
+  // the sticks in assignment order, so all device timelines (and the
+  // shared USB hub channels they contend on) advance together. The
+  // paper's policy is static round-robin; kLeastLoaded instead hands the
+  // next image to whichever stick's host cursor is earliest.
+  std::vector<bool> alive(static_cast<std::size_t>(active), true);
+  int alive_count = active;
+  for (std::int64_t i = 0; i < images; ++i) {
+    // Each image retries on another stick when its stick vanishes
+    // (MVNC_GONE — an unplugged NCS): the runner degrades gracefully
+    // instead of aborting the batch.
+    for (;;) {
+      if (alive_count == 0) {
+        throw std::runtime_error("run_timed: all sticks are gone");
+      }
+      std::size_t pick = static_cast<std::size_t>(i % active);
+      if (config_.scheduling == Scheduling::kLeastLoaded || !alive[pick]) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t d = 0; d < static_cast<std::size_t>(active); ++d) {
+          if (!alive[d]) continue;
+          const double t = mvnc::host_time(graph_handles_[d]).value_or(best);
+          if (t < best) {
+            best = t;
+            pick = d;
+          }
+        }
+      }
+      void* graph = graph_handles_[pick];
+      const auto load_st = mvnc::mvncLoadTensor(
+          graph, input.data(), static_cast<unsigned int>(input.size()),
+          nullptr);
+      if (load_st == mvnc::MVNC_GONE) {
+        alive[pick] = false;
+        --alive_count;
+        continue;
+      }
+      if (load_st != mvnc::MVNC_OK) {
+        throw std::runtime_error("run_timed: mvncLoadTensor failed");
+      }
+      void* out = nullptr;
+      unsigned int out_len = 0;
+      const auto get_st = mvnc::mvncGetResult(graph, &out, &out_len, nullptr);
+      if (get_st == mvnc::MVNC_GONE) {
+        alive[pick] = false;
+        --alive_count;
+        continue;  // the in-flight inference was lost: redo the image
+      }
+      if (get_st != mvnc::MVNC_OK) {
+        throw std::runtime_error("run_timed: mvncGetResult failed");
+      }
+      const auto ticket = mvnc::last_ticket(graph);
+      if (!ticket) throw std::runtime_error("run_timed: missing ticket");
+      run.per_image_ms.add((ticket->result_ready - ticket->issue) * 1e3);
+      last_completion = std::max(last_completion, ticket->result_ready);
+      break;
+    }
+  }
+  run.seconds = last_completion - t0;
+  return run;
+}
+
+std::vector<Prediction> VpuTarget::classify(
+    const std::vector<tensor::TensorF>& inputs) {
+  if (!bundle_->functional()) {
+    throw std::logic_error("VpuTarget::classify: timing-only bundle");
+  }
+  std::vector<Prediction> results(inputs.size());
+  const int active =
+      static_cast<int>(std::min<std::size_t>(inputs.size(),
+                                             graph_handles_.size()));
+  if (active == 0) return results;
+
+  auto worker = [&](int d) {
+    void* graph = graph_handles_[static_cast<std::size_t>(d)];
+    for (std::size_t i = static_cast<std::size_t>(d); i < inputs.size();
+         i += static_cast<std::size_t>(active)) {
+      // Host-side FP32 -> FP16 conversion (the OpenEXR-half step).
+      const auto half_input =
+          tensor::tensor_cast<ncsw::fp16::half>(inputs[i]);
+      mvncStatus st = mvnc::mvncLoadTensor(
+          graph, half_input.data(),
+          static_cast<unsigned int>(half_input.numel() *
+                                    sizeof(ncsw::fp16::half)),
+          nullptr);
+      if (st != mvnc::MVNC_OK) {
+        throw std::runtime_error("classify: mvncLoadTensor failed");
+      }
+      void* out = nullptr;
+      unsigned int out_len = 0;
+      st = mvnc::mvncGetResult(graph, &out, &out_len, nullptr);
+      if (st != mvnc::MVNC_OK) {
+        throw std::runtime_error("classify: mvncGetResult failed");
+      }
+      const auto* halves = static_cast<const ncsw::fp16::half*>(out);
+      const std::size_t n = out_len / sizeof(ncsw::fp16::half);
+      std::vector<float> probs(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        probs[k] = static_cast<float>(halves[k]);
+      }
+      results[i] = make_prediction(std::move(probs));
+    }
+  };
+
+  if (config_.parallel_host_threads && active > 1) {
+    // Worker exceptions must not escape their threads (std::terminate);
+    // capture the first and rethrow on the caller.
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(active));
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (int d = 0; d < active; ++d) {
+      threads.emplace_back([&, d] {
+        try {
+          worker(d);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (int d = 0; d < active; ++d) worker(d);
+  }
+  return results;
+}
+
+std::vector<float> VpuTarget::layer_times_ms() const {
+  std::vector<float> times(bundle_->compiled_f16.layers.size());
+  unsigned int len = static_cast<unsigned int>(times.size() * sizeof(float));
+  if (mvnc::mvncGetGraphOption(graph_handles_.at(0), mvnc::MVNC_TIME_TAKEN,
+                               times.data(), &len) != mvnc::MVNC_OK) {
+    throw std::runtime_error("layer_times_ms: option query failed");
+  }
+  times.resize(len / sizeof(float));
+  return times;
+}
+
+}  // namespace ncsw::core

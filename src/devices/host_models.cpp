@@ -1,0 +1,62 @@
+#include "devices/host_models.h"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "devices/calibration.h"
+#include "myriad/myriad.h"
+#include "nn/googlenet.h"
+
+namespace ncsw::devices {
+
+HostDeviceModel::HostDeviceModel(std::string name, double t_inf_ms,
+                                 double overhead_ms,
+                                 std::int64_t reference_macs, double tdp_w)
+    : name_(std::move(name)),
+      t_inf_ms_(t_inf_ms),
+      overhead_ms_(overhead_ms),
+      reference_macs_(reference_macs),
+      tdp_w_(tdp_w) {
+  if (t_inf_ms_ <= 0 || overhead_ms_ < 0 || reference_macs_ <= 0 ||
+      tdp_w_ <= 0) {
+    throw std::invalid_argument("HostDeviceModel: bad parameters");
+  }
+}
+
+double HostDeviceModel::per_image_s(int batch, std::int64_t macs) const {
+  if (batch < 1) throw std::invalid_argument("per_image_s: batch < 1");
+  if (macs <= 0) throw std::invalid_argument("per_image_s: macs <= 0");
+  const double ref_ms =
+      t_inf_ms_ + overhead_ms_ / static_cast<double>(batch);
+  const double scale =
+      static_cast<double>(macs) / static_cast<double>(reference_macs_);
+  return ref_ms * scale * 1e-3;
+}
+
+std::int64_t googlenet_macs() {
+  static std::once_flag flag;
+  static std::int64_t macs = 0;
+  std::call_once(flag, [] {
+    // Use the compiled-graph accounting (includes pool/LRN/elementwise
+    // work) so the ratio against any ModelBundle::macs is consistent.
+    macs = graphc::compile(nn::build_googlenet(), graphc::Precision::kFP16)
+               .total_macs();
+  });
+  return macs;
+}
+
+HostDeviceModel make_cpu_model() {
+  return HostDeviceModel("Intel Xeon E5-2609v2 x2 (Caffe-MKL, FP32)",
+                         calibration::kCpuInfMs, calibration::kCpuOverheadMs,
+                         googlenet_macs(),
+                         myriad::TdpConstants::kXeonE52609v2W);
+}
+
+HostDeviceModel make_gpu_model() {
+  return HostDeviceModel("NVIDIA Quadro K4000 (Caffe-cuDNN, FP32)",
+                         calibration::kGpuInfMs, calibration::kGpuOverheadMs,
+                         googlenet_macs(),
+                         myriad::TdpConstants::kQuadroK4000W);
+}
+
+}  // namespace ncsw::devices

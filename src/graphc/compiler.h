@@ -1,0 +1,109 @@
+// Graph compiler: lowers an nn::Graph to a device-neutral cost blob.
+//
+// This is the stand-in for the NCSDK's `mvNCCompile` step: the paper's
+// framework ships a pre-compiled graph file to the stick via
+// mvncAllocateGraph. Our compiled form records, per layer, the work
+// (multiply-accumulates), the data movement (activation and weight
+// bytes at the chosen precision) and a CMX tiling plan; the Myriad 2
+// simulator executes exactly this plan, and the CPU/GPU device models
+// price their work from the same numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/weights.h"
+
+namespace ncsw::graphc {
+
+/// Numeric precision a graph is compiled for.
+enum class Precision : std::uint8_t { kFP16 = 0, kFP32 = 1 };
+
+/// Bytes per scalar for a precision.
+constexpr std::int64_t bytes_per_scalar(Precision p) noexcept {
+  return p == Precision::kFP16 ? 2 : 4;
+}
+
+/// "FP16" / "FP32".
+const char* precision_name(Precision p) noexcept;
+
+/// Per-layer cost record.
+struct LayerCost {
+  std::int32_t id = 0;               ///< layer id in the source graph
+  nn::LayerKind kind = nn::LayerKind::kInput;
+  std::string name;
+  std::int64_t macs = 0;             ///< multiply-accumulate count (batch 1)
+  std::int64_t in_bytes = 0;         ///< activation bytes read
+  std::int64_t out_bytes = 0;        ///< activation bytes written
+  std::int64_t weight_bytes = 0;     ///< parameter bytes (incl. bias)
+  std::int32_t tiles = 1;            ///< work quanta for the SHAVE array
+  bool fits_cmx = true;              ///< working set fits the 2MB CMX
+  tensor::Shape in_shape;            ///< primary input shape (batch 1)
+  tensor::Shape out_shape;           ///< output shape (batch 1)
+};
+
+/// A compiled network.
+struct CompiledGraph {
+  std::string net_name;
+  Precision precision = Precision::kFP16;
+  tensor::Shape input_shape;   ///< batch-1 input
+  std::int64_t num_outputs = 0;  ///< elements of the final layer
+  std::vector<LayerCost> layers;
+
+  /// Sum of layer MACs.
+  std::int64_t total_macs() const noexcept;
+  /// Sum of parameter bytes.
+  std::int64_t total_weight_bytes() const noexcept;
+  /// Sum of activation traffic (in + out) bytes.
+  std::int64_t total_activation_bytes() const noexcept;
+  /// Input tensor bytes at the compiled precision.
+  std::int64_t input_bytes() const noexcept;
+  /// Output tensor bytes at the compiled precision.
+  std::int64_t output_bytes() const noexcept;
+};
+
+/// Compiler tuning knobs.
+struct CompileOptions {
+  /// Target work-quantum size: the compiler splits each layer into tiles
+  /// of roughly this many MACs so the SHAVE scheduler has useful
+  /// granularity. Data-movement layers are tiled by bytes / 16 KiB.
+  std::int64_t macs_per_tile = 200'000;
+  /// CMX capacity available for one layer's working set (bytes). The
+  /// MA2450 has 2 MiB of CMX; the runtime reserves part of it.
+  std::int64_t cmx_budget_bytes = 1'900'000;
+};
+
+/// Compile a validated graph. Throws std::logic_error on invalid graphs.
+CompiledGraph compile(const nn::Graph& graph, Precision precision,
+                      const CompileOptions& options = {});
+
+/// Serialise to the on-disk graph-file format (magic "NCSG", version 1:
+/// cost records only).
+std::vector<std::uint8_t> serialize(const CompiledGraph& graph);
+
+/// Parse a graph file (either version); throws std::runtime_error on
+/// malformed input. Any embedded functional payload is ignored.
+CompiledGraph deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// A parsed graph file including the optional functional payload.
+struct GraphPackage {
+  CompiledGraph compiled;
+  bool functional = false;   ///< true when net + weights are present
+  nn::Graph net{"empty"};    ///< network structure (when functional)
+  nn::WeightsH weights;      ///< FP16 parameters (when functional)
+};
+
+/// Serialise a *self-contained* graph file (version 2): the cost records
+/// plus the network structure and its FP16 weights — the role the real
+/// NCS graph file plays (mvNCCompile embeds the caffemodel weights).
+/// Pass net/weights as nullptr for a timing-only v2 file.
+std::vector<std::uint8_t> serialize_package(const CompiledGraph& graph,
+                                            const nn::Graph* net,
+                                            const nn::WeightsH* weights);
+
+/// Parse either format into a package (v1 files yield functional=false).
+GraphPackage deserialize_package(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ncsw::graphc

@@ -1,0 +1,100 @@
+#include "half/half.h"
+
+#include <cstring>
+
+namespace ncsw::fp16 {
+
+namespace {
+std::uint32_t float_bits(float f) noexcept {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float bits_float(std::uint32_t u) noexcept {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+}  // namespace
+
+std::uint16_t float_to_half_bits(float value) noexcept {
+  const std::uint32_t f = float_bits(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xffu) - 127;
+  std::uint32_t mantissa = f & 0x007fffffu;
+
+  if (exponent == 128) {  // inf or NaN
+    if (mantissa != 0) return static_cast<std::uint16_t>(sign | 0x7e00u);
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  if (exponent > 15) {  // overflow -> infinity
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  if (exponent >= -14) {  // normal range
+    // 10-bit mantissa; round-to-nearest-even on the 13 dropped bits.
+    std::uint32_t half_exp = static_cast<std::uint32_t>(exponent + 15);
+    std::uint32_t half_man = mantissa >> 13;
+    const std::uint32_t round_bits = mantissa & 0x1fffu;
+    if (round_bits > 0x1000u ||
+        (round_bits == 0x1000u && (half_man & 1u) != 0)) {
+      ++half_man;
+      if (half_man == 0x400u) {  // mantissa overflow -> bump exponent
+        half_man = 0;
+        ++half_exp;
+        if (half_exp == 31) {
+          return static_cast<std::uint16_t>(sign | 0x7c00u);
+        }
+      }
+    }
+    return static_cast<std::uint16_t>(sign | (half_exp << 10) | half_man);
+  }
+
+  if (exponent >= -25) {  // subnormal half range
+    // Add the implicit leading 1. The 24-bit significand M encodes
+    // value = M * 2^(e-23); the half subnormal target is
+    // man16 = value * 2^24 = M >> (-e - 1) with e in [-25, -15].
+    mantissa |= 0x00800000u;
+    const int shift = -exponent - 1;  // in [14, 24]
+    std::uint32_t half_man = mantissa >> shift;
+    const std::uint32_t dropped = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (dropped > halfway || (dropped == halfway && (half_man & 1u) != 0)) {
+      ++half_man;  // may carry into the exponent: 0x400 encodes 2^-14, which
+                   // is exactly correct.
+    }
+    return static_cast<std::uint16_t>(sign | half_man);
+  }
+
+  // Underflow to signed zero.
+  return static_cast<std::uint16_t>(sign);
+}
+
+float half_bits_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+  std::uint32_t mantissa = bits & 0x03ffu;
+
+  if (exponent == 31) {  // inf / NaN
+    return bits_float(sign | 0x7f800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_float(sign);  // signed zero
+    // Subnormal: normalise.
+    int e = -1;
+    do {
+      ++e;
+      mantissa <<= 1;
+    } while ((mantissa & 0x0400u) == 0);
+    mantissa &= 0x03ffu;
+    const std::uint32_t float_exp = static_cast<std::uint32_t>(127 - 15 - e);
+    return bits_float(sign | (float_exp << 23) | (mantissa << 13));
+  }
+  const std::uint32_t float_exp = exponent - 15 + 127;
+  return bits_float(sign | (float_exp << 23) | (mantissa << 13));
+}
+
+}  // namespace ncsw::fp16

@@ -1,0 +1,50 @@
+// Minimal image type: 8-bit interleaved RGB, the format the dataset
+// generator produces and the PPM codec serialises. Stands in for the
+// OpenCV decode path the paper used on the host.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ncsw::imgproc {
+
+/// 8-bit RGB image, row-major, interleaved (R,G,B per pixel).
+class Image {
+ public:
+  Image() = default;
+
+  /// Black image of the given size.
+  Image(int width, int height) : width_(width), height_(height) {
+    if (width <= 0 || height <= 0) {
+      throw std::invalid_argument("Image: non-positive dimensions");
+    }
+    pixels_.assign(static_cast<std::size_t>(width) * height * 3, 0);
+  }
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  bool empty() const noexcept { return pixels_.empty(); }
+
+  /// Raw interleaved buffer (size = width*height*3).
+  const std::vector<std::uint8_t>& pixels() const noexcept { return pixels_; }
+  std::vector<std::uint8_t>& pixels() noexcept { return pixels_; }
+
+  /// Channel c (0=R,1=G,2=B) of pixel (x, y); no bounds checks.
+  std::uint8_t at(int x, int y, int c) const noexcept {
+    return pixels_[(static_cast<std::size_t>(y) * width_ + x) * 3 + c];
+  }
+  std::uint8_t& at(int x, int y, int c) noexcept {
+    return pixels_[(static_cast<std::size_t>(y) * width_ + x) * 3 + c];
+  }
+
+  /// Byte size of the pixel buffer.
+  std::size_t byte_size() const noexcept { return pixels_.size(); }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace ncsw::imgproc

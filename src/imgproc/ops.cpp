@@ -1,0 +1,96 @@
+#include "imgproc/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncsw::imgproc {
+
+Image resize_bilinear(const Image& src, int out_w, int out_h) {
+  if (src.empty()) throw std::invalid_argument("resize_bilinear: empty image");
+  if (out_w <= 0 || out_h <= 0) {
+    throw std::invalid_argument("resize_bilinear: non-positive output size");
+  }
+  if (out_w == src.width() && out_h == src.height()) return src;
+
+  Image dst(out_w, out_h);
+  // Half-pixel-centre mapping (matches OpenCV INTER_LINEAR).
+  const float sx = static_cast<float>(src.width()) / static_cast<float>(out_w);
+  const float sy =
+      static_cast<float>(src.height()) / static_cast<float>(out_h);
+  for (int y = 0; y < out_h; ++y) {
+    const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+    const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0,
+                              src.height() - 1);
+    const int y1 = std::min(y0 + 1, src.height() - 1);
+    const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+    for (int x = 0; x < out_w; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+      const int x0 =
+          std::clamp(static_cast<int>(std::floor(fx)), 0, src.width() - 1);
+      const int x1 = std::min(x0 + 1, src.width() - 1);
+      const float wx = std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+      for (int c = 0; c < 3; ++c) {
+        const float top = static_cast<float>(src.at(x0, y0, c)) * (1 - wx) +
+                          static_cast<float>(src.at(x1, y0, c)) * wx;
+        const float bot = static_cast<float>(src.at(x0, y1, c)) * (1 - wx) +
+                          static_cast<float>(src.at(x1, y1, c)) * wx;
+        const float v = top * (1 - wy) + bot * wy;
+        dst.at(x, y, c) =
+            static_cast<std::uint8_t>(std::clamp(v + 0.5f, 0.0f, 255.0f));
+      }
+    }
+  }
+  return dst;
+}
+
+Image center_crop(const Image& src, int crop_w, int crop_h) {
+  if (crop_w <= 0 || crop_h <= 0 || crop_w > src.width() ||
+      crop_h > src.height()) {
+    throw std::invalid_argument("center_crop: crop does not fit");
+  }
+  const int x0 = (src.width() - crop_w) / 2;
+  const int y0 = (src.height() - crop_h) / 2;
+  Image dst(crop_w, crop_h);
+  for (int y = 0; y < crop_h; ++y) {
+    for (int x = 0; x < crop_w; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        dst.at(x, y, c) = src.at(x0 + x, y0 + y, c);
+      }
+    }
+  }
+  return dst;
+}
+
+tensor::TensorF to_tensor_f32(const Image& image, const ChannelMeans& means) {
+  if (image.empty()) throw std::invalid_argument("to_tensor_f32: empty image");
+  tensor::TensorF t(tensor::Shape{1, 3, image.height(), image.width()});
+  const float mean[3] = {means.r, means.g, means.b};
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        t.at(0, c, y, x) = static_cast<float>(image.at(x, y, c)) - mean[c];
+      }
+    }
+  }
+  return t;
+}
+
+tensor::TensorH to_tensor_f16(const Image& image, const ChannelMeans& means) {
+  return tensor::tensor_cast<ncsw::fp16::half>(to_tensor_f32(image, means));
+}
+
+double mean_abs_pixel_diff(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("mean_abs_pixel_diff: size mismatch");
+  }
+  double sum = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    sum += std::abs(static_cast<double>(pa[i]) - static_cast<double>(pb[i]));
+  }
+  return pa.empty() ? 0.0 : sum / static_cast<double>(pa.size());
+}
+
+}  // namespace ncsw::imgproc

@@ -1,0 +1,121 @@
+#include "imgproc/ppm.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ncsw::imgproc {
+
+std::vector<std::uint8_t> encode_ppm(const Image& image) {
+  if (image.empty()) throw std::invalid_argument("encode_ppm: empty image");
+  char header[64];
+  const int len = std::snprintf(header, sizeof(header), "P6\n%d %d\n255\n",
+                                image.width(), image.height());
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(len) + image.byte_size());
+  out.insert(out.end(), header, header + len);
+  out.insert(out.end(), image.pixels().begin(), image.pixels().end());
+  return out;
+}
+
+namespace {
+// Header tokenizer: skips whitespace and '#' comments.
+class HeaderReader {
+ public:
+  explicit HeaderReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  std::string next_token() {
+    skip_space_and_comments();
+    std::string tok;
+    while (pos_ < bytes_.size() && !std::isspace(bytes_[pos_])) {
+      tok.push_back(static_cast<char>(bytes_[pos_++]));
+    }
+    if (tok.empty()) throw std::runtime_error("decode_ppm: truncated header");
+    return tok;
+  }
+
+  /// Position just after the single whitespace byte that terminates the
+  /// maxval token (per the PPM spec, raster begins immediately after it).
+  std::size_t raster_start() {
+    if (pos_ >= bytes_.size() || !std::isspace(bytes_[pos_])) {
+      throw std::runtime_error("decode_ppm: missing raster separator");
+    }
+    return pos_ + 1;
+  }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < bytes_.size()) {
+      if (std::isspace(bytes_[pos_])) {
+        ++pos_;
+      } else if (bytes_[pos_] == '#') {
+        while (pos_ < bytes_.size() && bytes_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+int parse_positive_int(const std::string& tok, const char* what) {
+  std::size_t pos = 0;
+  long v = 0;
+  try {
+    v = std::stol(tok, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("decode_ppm: bad ") + what);
+  }
+  if (pos != tok.size() || v <= 0 || v > 1 << 20) {
+    throw std::runtime_error(std::string("decode_ppm: bad ") + what);
+  }
+  return static_cast<int>(v);
+}
+}  // namespace
+
+Image decode_ppm(const std::vector<std::uint8_t>& bytes) {
+  HeaderReader reader(bytes);
+  if (reader.next_token() != "P6") {
+    throw std::runtime_error("decode_ppm: not a P6 PPM");
+  }
+  const int width = parse_positive_int(reader.next_token(), "width");
+  const int height = parse_positive_int(reader.next_token(), "height");
+  const int maxval = parse_positive_int(reader.next_token(), "maxval");
+  if (maxval != 255) {
+    throw std::runtime_error("decode_ppm: only maxval 255 supported");
+  }
+  const std::size_t start = reader.raster_start();
+  const std::size_t expected =
+      static_cast<std::size_t>(width) * height * 3;
+  if (bytes.size() < start + expected) {
+    throw std::runtime_error("decode_ppm: truncated raster");
+  }
+  Image img(width, height);
+  std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(start),
+            bytes.begin() + static_cast<std::ptrdiff_t>(start + expected),
+            img.pixels().begin());
+  return img;
+}
+
+void save_ppm(const Image& image, const std::string& path) {
+  const auto bytes = encode_ppm(image);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("save_ppm: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("save_ppm: write failed " + path);
+}
+
+Image load_ppm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_ppm: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return decode_ppm(bytes);
+}
+
+}  // namespace ncsw::imgproc

@@ -1,0 +1,26 @@
+// Binary PPM (P6) codec — the repository's on-disk image format, standing
+// in for the JPEG decode path (OpenCV) of the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "imgproc/image.h"
+
+namespace ncsw::imgproc {
+
+/// Serialise to a P6 PPM byte stream (maxval 255).
+std::vector<std::uint8_t> encode_ppm(const Image& image);
+
+/// Parse a P6 PPM byte stream. Accepts whitespace/comments in the header.
+/// Throws std::runtime_error on malformed input.
+Image decode_ppm(const std::vector<std::uint8_t>& bytes);
+
+/// Write `image` to `path` as P6 PPM.
+void save_ppm(const Image& image, const std::string& path);
+
+/// Read a P6 PPM from `path`.
+Image load_ppm(const std::string& path);
+
+}  // namespace ncsw::imgproc

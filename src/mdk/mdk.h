@@ -1,0 +1,94 @@
+// MDK — general-purpose computing on the simulated Myriad 2.
+//
+// The paper's future work (Section VII) is to use the VPU "as a
+// conventional vector processor for general-purpose computing" through
+// the Movidius Development Kit, citing Ionica & Gregg's Myriad DGEMM
+// study (IEEE Micro'15), which hand-tiled GEMM into the CMX slices and
+// reported Gflops and Gflops/W. This module is that path, built on the
+// same chip model as the inference stack:
+//
+//  * a CMX tiling planner for GEMM (one output tile per SHAVE pass, A/B
+//    panels streamed from DDR, FP32 accumulators resident across the
+//    k loop),
+//  * functional execution (results are actually computed, with FP16
+//    storage + FP32 accumulation semantics matching the VAU), and
+//  * timed execution on the SHAVE-array/DDR simulation, reporting
+//    Gflops, energy and Gflops/W.
+#pragma once
+
+#include <cstdint>
+
+#include "graphc/compiler.h"
+#include "half/half.h"
+#include "myriad/myriad.h"
+
+namespace ncsw::mdk {
+
+/// CMX tiling plan for C[m x n] = A[m x k] * B[k x n].
+struct GemmPlan {
+  std::int64_t m = 0, n = 0, k = 0;
+  graphc::Precision precision = graphc::Precision::kFP16;
+  std::int64_t tile_m = 0;  ///< output tile rows
+  std::int64_t tile_n = 0;  ///< output tile cols
+  std::int64_t tile_k = 0;  ///< k panel depth per DMA step
+  std::int64_t tasks = 0;   ///< output tiles to schedule on the SHAVEs
+  std::int64_t cmx_bytes_per_task = 0;  ///< working set of one tile
+  std::int64_t ddr_bytes = 0;  ///< total A/B/C traffic for the whole GEMM
+};
+
+/// Result of a timed kernel execution.
+struct KernelStats {
+  double sim_time_s = 0.0;
+  double gflops = 0.0;         ///< 2*m*n*k / time
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double gflops_per_w = 0.0;   ///< the Ionica-style figure of merit
+  double shave_utilization = 0.0;
+};
+
+/// General-purpose offload context over one simulated chip.
+class MdkContext {
+ public:
+  explicit MdkContext(const myriad::MyriadConfig& config = {});
+
+  const myriad::MyriadConfig& config() const noexcept { return config_; }
+
+  /// Plan the CMX tiling for a GEMM. Throws std::invalid_argument on
+  /// non-positive dimensions.
+  GemmPlan plan_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                     graphc::Precision precision) const;
+
+  /// Timing-only execution of a plan on the SHAVE array.
+  KernelStats simulate_gemm(const GemmPlan& plan) const;
+
+  /// Functional + timed FP32 GEMM: C = A * B (row-major, dense).
+  KernelStats gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k,
+                       const float* a, const float* b, float* c) const;
+
+  /// Functional + timed FP16 GEMM (FP32 accumulators in CMX, one final
+  /// rounding per output element — the VAU-with-wide-accumulator model).
+  KernelStats gemm_f16(std::int64_t m, std::int64_t n, std::int64_t k,
+                       const ncsw::fp16::half* a, const ncsw::fp16::half* b,
+                       ncsw::fp16::half* c) const;
+
+  /// Functional + timed AXPY: y += alpha * x (bandwidth-bound).
+  KernelStats axpy_f32(std::int64_t n, float alpha, const float* x,
+                       float* y) const;
+
+  /// Functional + timed dot product (reduction across the SHAVE array);
+  /// the result is written to *out.
+  KernelStats dot_f32(std::int64_t n, const float* x, const float* y,
+                      double* out) const;
+
+  /// Fraction of peak MAC throughput a hand-tiled CMX GEMM sustains
+  /// (higher than conv: perfectly regular access, no im2col).
+  double gemm_efficiency() const noexcept { return 0.55; }
+
+ private:
+  KernelStats timed_vector_kernel(std::int64_t bytes_moved,
+                                  std::int64_t flops) const;
+
+  myriad::MyriadConfig config_;
+};
+
+}  // namespace ncsw::mdk

@@ -1,0 +1,491 @@
+#include "mvnc/mvnc.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "mvnc/sim_host.h"
+#include "tensor/tensor.h"
+
+namespace ncsw::mvnc {
+
+namespace {
+
+struct GraphState;
+
+struct DeviceState {
+  std::unique_ptr<ncs::NcsDevice> device;
+  bool handle_open = false;  // an mvncOpenDevice handle exists
+  std::vector<GraphState*> graphs;
+};
+
+struct GraphState {
+  DeviceState* dev = nullptr;
+  graphc::CompiledGraph compiled;
+  const nn::Graph* func_graph = nullptr;
+  const nn::WeightsH* func_weights = nullptr;
+  // Functional payload embedded in a v2 graph file (owned by the handle).
+  std::optional<nn::Graph> owned_graph;
+  std::optional<nn::WeightsH> owned_weights;
+
+  std::mutex mutex;
+  double host_clock = 0.0;     // simulated host-time cursor for this handle
+  double inter_op_gap = 0.0;   // host gap after each retrieved result
+
+  struct Pending {
+    std::vector<ncsw::fp16::half> output;
+    void* user = nullptr;
+  };
+  std::deque<Pending> pending;              // parallel to the device FIFO
+  std::vector<ncsw::fp16::half> last_output;
+  std::optional<ncs::InferenceTicket> last_ticket;
+};
+
+struct HostState {
+  std::unique_ptr<ncs::UsbTopology> topology;
+  std::vector<std::unique_ptr<DeviceState>> devices;
+  std::unordered_set<void*> device_handles;
+  std::unordered_set<void*> graph_handles;
+};
+
+std::mutex g_mutex;
+HostState g_host;
+
+DeviceState* as_device(void* handle) {
+  if (g_host.device_handles.count(handle) == 0) return nullptr;
+  return static_cast<DeviceState*>(handle);
+}
+
+GraphState* as_graph(void* handle) {
+  if (g_host.graph_handles.count(handle) == 0) return nullptr;
+  return static_cast<GraphState*>(handle);
+}
+
+void destroy_graph_locked(GraphState* g) {
+  if (g->dev) {
+    auto& vec = g->dev->graphs;
+    vec.erase(std::remove(vec.begin(), vec.end(), g), vec.end());
+  }
+  g_host.graph_handles.erase(g);
+  delete g;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// sim_host.h
+// ---------------------------------------------------------------------------
+
+void host_reset(const HostConfig& config) {
+  std::lock_guard lock(g_mutex);
+  // Free outstanding graph handles.
+  for (void* h : g_host.graph_handles) delete static_cast<GraphState*>(h);
+  g_host.graph_handles.clear();
+  g_host.device_handles.clear();
+  g_host.devices.clear();
+  g_host.topology.reset();
+  if (config.devices <= 0) return;
+
+  switch (config.topology) {
+    case HostConfig::Topology::kPaperTestbed:
+      g_host.topology = std::make_unique<ncs::UsbTopology>(
+          ncs::UsbTopology::paper_testbed(config.devices));
+      break;
+    case HostConfig::Topology::kSingleHubUsb3:
+      g_host.topology = std::make_unique<ncs::UsbTopology>(
+          ncs::UsbTopology::single_hub(config.devices, ncs::usb3_link()));
+      break;
+    case HostConfig::Topology::kSingleHubUsb2:
+      g_host.topology = std::make_unique<ncs::UsbTopology>(
+          ncs::UsbTopology::single_hub(config.devices, ncs::usb2_link()));
+      break;
+    case HostConfig::Topology::kAllDirect:
+      g_host.topology = std::make_unique<ncs::UsbTopology>(
+          ncs::UsbTopology::all_direct(config.devices, ncs::usb3_link()));
+      break;
+  }
+  for (int d = 0; d < config.devices; ++d) {
+    ncs::NcsConfig dev_cfg = config.ncs;
+    if (d == config.degraded_device && config.degraded_factor > 1.0) {
+      dev_cfg.chip.clock_hz /= config.degraded_factor;
+    }
+    auto state = std::make_unique<DeviceState>();
+    state->device = std::make_unique<ncs::NcsDevice>(
+        d, g_host.topology->channel_for(d), dev_cfg);
+    g_host.devices.push_back(std::move(state));
+  }
+}
+
+int host_device_count() {
+  std::lock_guard lock(g_mutex);
+  return static_cast<int>(g_host.devices.size());
+}
+
+ncs::UsbTopology& host_topology() {
+  std::lock_guard lock(g_mutex);
+  if (!g_host.topology) throw std::logic_error("mvnc host not configured");
+  return *g_host.topology;
+}
+
+bool set_functional_network(void* graphHandle, const nn::Graph* graph,
+                            const nn::WeightsH* weights) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  if (!g) return false;
+  if ((graph == nullptr) != (weights == nullptr)) return false;
+  if (graph) {
+    const auto in_shape = graph->layer(graph->input_id()).out_shape;
+    if (in_shape.numel() != g->compiled.input_shape.numel()) return false;
+  }
+  std::lock_guard glock(g->mutex);
+  g->func_graph = graph;
+  g->func_weights = weights;
+  return true;
+}
+
+std::optional<ncs::InferenceTicket> last_ticket(void* graphHandle) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  if (!g) return std::nullopt;
+  std::lock_guard glock(g->mutex);
+  return g->last_ticket;
+}
+
+bool set_host_time(void* graphHandle, double t) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  if (!g) return false;
+  std::lock_guard glock(g->mutex);
+  g->host_clock = std::max(g->host_clock, t);
+  return true;
+}
+
+std::optional<double> host_time(void* graphHandle) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  if (!g) return std::nullopt;
+  std::lock_guard glock(g->mutex);
+  return g->host_clock;
+}
+
+bool set_inter_op_gap(void* graphHandle, double gap_s) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  if (!g || gap_s < 0) return false;
+  std::lock_guard glock(g->mutex);
+  g->inter_op_gap = gap_s;
+  return true;
+}
+
+ncs::NcsDevice* device_of(void* deviceHandle) {
+  std::lock_guard lock(g_mutex);
+  DeviceState* d = as_device(deviceHandle);
+  return d ? d->device.get() : nullptr;
+}
+
+ncs::NcsDevice* graph_device(void* graphHandle) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  return g && g->dev ? g->dev->device.get() : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// mvnc.h — the NCAPI surface
+// ---------------------------------------------------------------------------
+
+mvncStatus mvncGetDeviceName(int index, char* name, unsigned int nameSize) {
+  if (!name || nameSize == 0) return MVNC_INVALID_PARAMETERS;
+  std::lock_guard lock(g_mutex);
+  if (index < 0 || index >= static_cast<int>(g_host.devices.size())) {
+    return MVNC_DEVICE_NOT_FOUND;
+  }
+  const std::string n =
+      g_host.devices[static_cast<std::size_t>(index)]->device->name();
+  if (n.size() + 1 > nameSize) return MVNC_INVALID_PARAMETERS;
+  std::memcpy(name, n.c_str(), n.size() + 1);
+  return MVNC_OK;
+}
+
+mvncStatus mvncOpenDevice(const char* name, void** deviceHandle) {
+  if (!name || !deviceHandle) return MVNC_INVALID_PARAMETERS;
+  std::lock_guard lock(g_mutex);
+  for (auto& state : g_host.devices) {
+    if (state->device->name() == name) {
+      if (state->handle_open) return MVNC_BUSY;
+      if (!state->device->is_open()) {
+        state->device->open(0.0);
+      }
+      state->handle_open = true;
+      g_host.device_handles.insert(state.get());
+      *deviceHandle = state.get();
+      return MVNC_OK;
+    }
+  }
+  return MVNC_DEVICE_NOT_FOUND;
+}
+
+mvncStatus mvncCloseDevice(void* deviceHandle) {
+  std::lock_guard lock(g_mutex);
+  DeviceState* d = as_device(deviceHandle);
+  if (!d) return MVNC_INVALID_PARAMETERS;
+  // Graph handles on this device become invalid.
+  for (GraphState* g : std::vector<GraphState*>(d->graphs)) {
+    destroy_graph_locked(g);
+  }
+  d->handle_open = false;
+  g_host.device_handles.erase(deviceHandle);
+  return MVNC_OK;
+}
+
+mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
+                             const void* graphFile,
+                             unsigned int graphFileLength) {
+  if (!graphHandle || !graphFile || graphFileLength == 0) {
+    return MVNC_INVALID_PARAMETERS;
+  }
+  std::lock_guard lock(g_mutex);
+  DeviceState* d = as_device(deviceHandle);
+  if (!d) return MVNC_INVALID_PARAMETERS;
+
+  const auto* bytes = static_cast<const std::uint8_t*>(graphFile);
+  graphc::GraphPackage package;
+  try {
+    package = graphc::deserialize_package(
+        std::vector<std::uint8_t>(bytes, bytes + graphFileLength));
+  } catch (const std::exception&) {
+    return MVNC_UNSUPPORTED_GRAPH_FILE;
+  }
+  if (package.compiled.precision != graphc::Precision::kFP16) {
+    // The stick executes FP16 graphs only.
+    return MVNC_UNSUPPORTED_GRAPH_FILE;
+  }
+
+  auto g = std::make_unique<GraphState>();
+  g->dev = d;
+  try {
+    const double ready = d->device->allocate_graph(package.compiled, 0.0);
+    g->host_clock = ready;
+  } catch (const ncs::OutOfDeviceMemory&) {
+    return MVNC_OUT_OF_MEMORY;
+  } catch (const std::exception&) {
+    return MVNC_ERROR;
+  }
+  g->compiled = std::move(package.compiled);
+  if (package.functional) {
+    // The graph file shipped its network + weights: execute functionally.
+    g->owned_graph = std::move(package.net);
+    g->owned_weights = std::move(package.weights);
+    g->func_graph = &*g->owned_graph;
+    g->func_weights = &*g->owned_weights;
+  }
+  GraphState* raw = g.release();
+  d->graphs.push_back(raw);
+  g_host.graph_handles.insert(raw);
+  *graphHandle = raw;
+  return MVNC_OK;
+}
+
+mvncStatus mvncDeallocateGraph(void* graphHandle) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  if (!g) return MVNC_INVALID_PARAMETERS;
+  destroy_graph_locked(g);
+  return MVNC_OK;
+}
+
+mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
+                          unsigned int inputTensorLength, void* userParam) {
+  GraphState* g;
+  {
+    std::lock_guard lock(g_mutex);
+    g = as_graph(graphHandle);
+  }
+  if (!g || !inputTensor) return MVNC_INVALID_PARAMETERS;
+
+  std::lock_guard glock(g->mutex);
+  const auto expected =
+      static_cast<unsigned int>(g->compiled.input_bytes());
+  if (inputTensorLength != expected) return MVNC_INVALID_PARAMETERS;
+
+  std::optional<ncs::InferenceTicket> ticket;
+  try {
+    ticket = g->dev->device->load_tensor(g->host_clock, userParam);
+  } catch (const ncs::DeviceUnplugged&) {
+    g->pending.clear();
+    return MVNC_GONE;
+  }
+  if (!ticket) return MVNC_BUSY;
+  g->host_clock = ticket->input_done;
+
+  GraphState::Pending pending;
+  pending.user = userParam;
+  if (g->func_graph && g->func_weights) {
+    // Execute the functional FP16 network on the payload.
+    const auto in_shape =
+        g->func_graph->layer(g->func_graph->input_id()).out_shape;
+    tensor::TensorH input(in_shape);
+    std::memcpy(input.data(), inputTensor, inputTensorLength);
+    auto result = nn::run_forward(*g->func_graph, *g->func_weights, input);
+    pending.output.assign(result.output.data(),
+                          result.output.data() + result.output.numel());
+  } else {
+    pending.output.assign(
+        static_cast<std::size_t>(g->compiled.num_outputs),
+        ncsw::fp16::half{});
+  }
+  g->pending.push_back(std::move(pending));
+  return MVNC_OK;
+}
+
+mvncStatus mvncGetResult(void* graphHandle, void** outputData,
+                         unsigned int* outputDataLength, void** userParam) {
+  GraphState* g;
+  {
+    std::lock_guard lock(g_mutex);
+    g = as_graph(graphHandle);
+  }
+  if (!g || !outputData || !outputDataLength) return MVNC_INVALID_PARAMETERS;
+
+  std::lock_guard glock(g->mutex);
+  if (g->pending.empty()) return MVNC_NO_DATA;
+  std::optional<ncs::InferenceTicket> ticket;
+  try {
+    ticket = g->dev->device->get_result(g->host_clock);
+  } catch (const ncs::DeviceUnplugged&) {
+    g->pending.clear();  // in-flight results died with the link
+    return MVNC_GONE;
+  }
+  if (!ticket) return MVNC_ERROR;  // FIFO desync: should be impossible
+
+  GraphState::Pending pending = std::move(g->pending.front());
+  g->pending.pop_front();
+  g->host_clock = ticket->result_ready + g->inter_op_gap;
+  g->last_ticket = *ticket;
+  g->last_output = std::move(pending.output);
+
+  *outputData = g->last_output.data();
+  *outputDataLength = static_cast<unsigned int>(
+      g->last_output.size() * sizeof(ncsw::fp16::half));
+  if (userParam) *userParam = pending.user;
+  return MVNC_OK;
+}
+
+mvncStatus mvncGetGraphOption(void* graphHandle, int option, void* data,
+                              unsigned int* dataLength) {
+  GraphState* g;
+  {
+    std::lock_guard lock(g_mutex);
+    g = as_graph(graphHandle);
+  }
+  if (!g || !data || !dataLength) return MVNC_INVALID_PARAMETERS;
+
+  std::lock_guard glock(g->mutex);
+  switch (option) {
+    case MVNC_TIME_TAKEN: {
+      const auto& profile = g->dev->device->profile();
+      const unsigned int needed = static_cast<unsigned int>(
+          profile.layers.size() * sizeof(float));
+      if (*dataLength < needed) return MVNC_INVALID_PARAMETERS;
+      auto* out = static_cast<float*>(data);
+      for (std::size_t i = 0; i < profile.layers.size(); ++i) {
+        out[i] = static_cast<float>(profile.layers[i].time_s * 1e3);
+      }
+      *dataLength = needed;
+      return MVNC_OK;
+    }
+    case MVNC_DEBUG_INFO: {
+      char buf[160];
+      const int len = std::snprintf(
+          buf, sizeof(buf), "net=%s layers=%zu macs=%lld exec_ms=%.3f",
+          g->compiled.net_name.c_str(), g->compiled.layers.size(),
+          static_cast<long long>(g->compiled.total_macs()),
+          g->dev->device->profile().total_s * 1e3);
+      if (len < 0 || *dataLength < static_cast<unsigned int>(len) + 1) {
+        return MVNC_INVALID_PARAMETERS;
+      }
+      std::memcpy(data, buf, static_cast<std::size_t>(len) + 1);
+      *dataLength = static_cast<unsigned int>(len) + 1;
+      return MVNC_OK;
+    }
+    default:
+      return MVNC_INVALID_PARAMETERS;
+  }
+}
+
+mvncStatus mvncGetDeviceOption(void* deviceHandle, int option, void* data,
+                               unsigned int* dataLength) {
+  DeviceState* d;
+  {
+    std::lock_guard lock(g_mutex);
+    d = as_device(deviceHandle);
+  }
+  if (!d || !data || !dataLength) return MVNC_INVALID_PARAMETERS;
+  ncs::NcsDevice& dev = *d->device;
+
+  switch (option) {
+    case MVNC_TEMP_LIM_LOWER:
+    case MVNC_TEMP_LIM_HIGHER: {
+      if (*dataLength < sizeof(float)) return MVNC_INVALID_PARAMETERS;
+      const auto [lower, higher] = dev.temp_limits();
+      const float value = static_cast<float>(
+          option == MVNC_TEMP_LIM_LOWER ? lower : higher);
+      *static_cast<float*>(data) = value;
+      *dataLength = sizeof(float);
+      return MVNC_OK;
+    }
+    case MVNC_THERMAL_STATS: {
+      const auto history = dev.thermal_history();
+      const auto needed =
+          static_cast<unsigned int>(history.size() * sizeof(float));
+      if (*dataLength < needed) return MVNC_INVALID_PARAMETERS;
+      std::memcpy(data, history.data(), needed);
+      *dataLength = needed;
+      return MVNC_OK;
+    }
+    case MVNC_OPTIMISATION_LIST: {
+      const char kOpts[] = "fp16 im2col-gemm cmx-tiling overlap-dma";
+      if (*dataLength < sizeof(kOpts)) return MVNC_INVALID_PARAMETERS;
+      std::memcpy(data, kOpts, sizeof(kOpts));
+      *dataLength = sizeof(kOpts);
+      return MVNC_OK;
+    }
+    default:
+      return MVNC_INVALID_PARAMETERS;
+  }
+}
+
+mvncStatus mvncSetDeviceOption(void* deviceHandle, int option,
+                               const void* data, unsigned int dataLength) {
+  DeviceState* d;
+  {
+    std::lock_guard lock(g_mutex);
+    d = as_device(deviceHandle);
+  }
+  if (!d || !data) return MVNC_INVALID_PARAMETERS;
+  ncs::NcsDevice& dev = *d->device;
+
+  switch (option) {
+    case MVNC_TEMP_LIM_LOWER:
+    case MVNC_TEMP_LIM_HIGHER: {
+      if (dataLength != sizeof(float)) return MVNC_INVALID_PARAMETERS;
+      float value;
+      std::memcpy(&value, data, sizeof(float));
+      auto [lower, higher] = dev.temp_limits();
+      (option == MVNC_TEMP_LIM_LOWER ? lower : higher) = value;
+      try {
+        dev.set_temp_limits(lower, higher);
+      } catch (const std::exception&) {
+        return MVNC_INVALID_PARAMETERS;
+      }
+      return MVNC_OK;
+    }
+    default:
+      return MVNC_INVALID_PARAMETERS;
+  }
+}
+
+}  // namespace ncsw::mvnc

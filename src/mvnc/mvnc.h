@@ -1,0 +1,100 @@
+// Neural Compute API (NCAPI v1) — simulator-backed clone.
+//
+// Mirrors the C interface of the Movidius Neural Compute SDK the paper
+// programs against (Listing 1): open a stick by name, allocate a compiled
+// graph, then drive inference with the non-blocking LoadTensor /
+// blocking GetResult pair. Status codes and option ids follow the NCSDK
+// v1 header. The backing devices are simulated NcsDevice instances
+// configured through mvnc/sim_host.h.
+#pragma once
+
+#include <cstddef>
+
+namespace ncsw::mvnc {
+
+/// NCSDK v1 status codes.
+enum mvncStatus : int {
+  MVNC_OK = 0,
+  MVNC_BUSY = -1,
+  MVNC_ERROR = -2,
+  MVNC_OUT_OF_MEMORY = -3,
+  MVNC_DEVICE_NOT_FOUND = -4,
+  MVNC_INVALID_PARAMETERS = -5,
+  MVNC_TIMEOUT = -6,
+  MVNC_MVCMD_NOT_FOUND = -7,
+  MVNC_NO_DATA = -8,
+  MVNC_GONE = -9,
+  MVNC_UNSUPPORTED_GRAPH_FILE = -10,
+  MVNC_MYRIAD_ERROR = -11,
+};
+
+/// Graph options (mvncGetGraphOption).
+enum mvncGraphOptions : int {
+  MVNC_ITERATIONS = 0,
+  MVNC_NETWORK_THROTTLE = 1,
+  MVNC_DONT_BLOCK = 2,
+  MVNC_TIME_TAKEN = 1000,   ///< float[] of per-layer times, milliseconds
+  MVNC_DEBUG_INFO = 1001,   ///< char[] diagnostic string
+};
+
+/// Device options (mvncGetDeviceOption).
+enum mvncDeviceOptions : int {
+  MVNC_TEMP_LIM_LOWER = 1,
+  MVNC_TEMP_LIM_HIGHER = 2,
+  MVNC_BACKOFF_TIME_NORMAL = 3,
+  MVNC_THERMAL_STATS = 1000,
+  MVNC_OPTIMISATION_LIST = 1001,
+};
+
+/// Enumerate sticks: copies the zero-terminated name of device `index`
+/// into `name` (capacity `nameSize`). MVNC_DEVICE_NOT_FOUND past the end.
+mvncStatus mvncGetDeviceName(int index, char* name, unsigned int nameSize);
+
+/// Open a stick by name: boots the firmware. `deviceHandle` receives an
+/// opaque handle.
+mvncStatus mvncOpenDevice(const char* name, void** deviceHandle);
+
+/// Close a stick; invalidates its graph handles.
+mvncStatus mvncCloseDevice(void* deviceHandle);
+
+/// Upload a compiled graph file (graphc::serialize output) to the stick.
+mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
+                             const void* graphFile,
+                             unsigned int graphFileLength);
+
+/// Release a graph.
+mvncStatus mvncDeallocateGraph(void* graphHandle);
+
+/// Queue one inference. `inputTensor` is FP16 data of exactly the graph's
+/// input size; returns as soon as the transfer completes and execution is
+/// queued on the SHAVE array (non-blocking w.r.t. execution). MVNC_BUSY
+/// when the device FIFO is full.
+mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
+                          unsigned int inputTensorLength, void* userParam);
+
+/// Block until the oldest queued inference finishes; returns a pointer to
+/// the FP16 output (valid until the next GetResult / DeallocateGraph) and
+/// the userParam passed to the matching LoadTensor. MVNC_NO_DATA when
+/// nothing is queued.
+mvncStatus mvncGetResult(void* graphHandle, void** outputData,
+                         unsigned int* outputDataLength, void** userParam);
+
+/// Query a graph option (MVNC_TIME_TAKEN, MVNC_DEBUG_INFO).
+/// `dataLength` is in/out: capacity in, bytes written out.
+mvncStatus mvncGetGraphOption(void* graphHandle, int option, void* data,
+                              unsigned int* dataLength);
+
+/// Query a device option:
+///  - MVNC_TEMP_LIM_LOWER / MVNC_TEMP_LIM_HIGHER: one float (°C),
+///  - MVNC_THERMAL_STATS: float[] of recent junction temperatures,
+///  - MVNC_OPTIMISATION_LIST: char[] description string.
+/// `dataLength` is in/out as for graph options.
+mvncStatus mvncGetDeviceOption(void* deviceHandle, int option, void* data,
+                               unsigned int* dataLength);
+
+/// Set a device option: MVNC_TEMP_LIM_LOWER / MVNC_TEMP_LIM_HIGHER take
+/// one float (°C); the pair must keep lower < higher.
+mvncStatus mvncSetDeviceOption(void* deviceHandle, int option,
+                               const void* data, unsigned int dataLength);
+
+}  // namespace ncsw::mvnc

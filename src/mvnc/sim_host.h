@@ -1,0 +1,77 @@
+// Simulation host behind the mvnc API: owns the USB topology and the
+// simulated sticks, and provides the C++-side extensions the benchmark
+// harnesses need (functional networks, virtual-time control, tickets).
+//
+// A real NCSDK discovers sticks from the kernel's USB enumeration; here
+// the test/benchmark configures the host explicitly, then the mvnc calls
+// behave exactly like the paper's Listing 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ncs/device.h"
+#include "ncs/usb.h"
+#include "nn/executor.h"
+
+namespace ncsw::mvnc {
+
+/// Host configuration.
+struct HostConfig {
+  int devices = 1;
+  /// Stick parameters (chip calibration, FIFO depth, gaps).
+  ncs::NcsConfig ncs;
+  /// Topology builder selector.
+  enum class Topology { kPaperTestbed, kSingleHubUsb3, kSingleHubUsb2, kAllDirect } topology =
+      Topology::kPaperTestbed;
+  /// Optional heterogeneity: stick `degraded_device` (when >= 0) runs its
+  /// chip at clock / `degraded_factor` — a stick hard-throttled in a hot
+  /// enclosure, or an older silicon revision. Used by the scheduler
+  /// ablation.
+  int degraded_device = -1;
+  double degraded_factor = 2.0;
+};
+
+/// (Re)initialise the global simulated host. Any previously returned
+/// device/graph handle becomes invalid (calls on them return MVNC_GONE).
+void host_reset(const HostConfig& config);
+
+/// Current number of simulated sticks (0 when the host was never set up).
+int host_device_count();
+
+/// Access the underlying topology for utilisation reporting (throws when
+/// the host is not configured).
+ncs::UsbTopology& host_topology();
+
+/// Attach a functional network to a graph handle: subsequent LoadTensor
+/// calls will actually run `graph` with `weights` on the FP16 payload and
+/// GetResult returns real class probabilities. Both pointers must outlive
+/// the graph handle. Pass nullptrs to detach. Returns false on a bad
+/// handle or when the functional graph's input size does not match the
+/// compiled graph.
+bool set_functional_network(void* graphHandle, const nn::Graph* graph,
+                            const nn::WeightsH* weights);
+
+/// Ticket (simulated timing) of the most recent GetResult on the handle.
+std::optional<ncs::InferenceTicket> last_ticket(void* graphHandle);
+
+/// Advance the handle's host-time cursor to at least `t` (used by the
+/// multi-VPU runner to model thread spawn staggering).
+bool set_host_time(void* graphHandle, double t);
+
+/// Current host-time cursor of the handle (simulated seconds).
+std::optional<double> host_time(void* graphHandle);
+
+/// Override the inter-op host gap for this handle (thread management
+/// cost between successive inferences; see NcsConfig::inter_op_gap_s).
+bool set_inter_op_gap(void* graphHandle, double gap_s);
+
+/// The underlying simulated device of a device handle (nullptr on a bad
+/// handle) — for tests and power accounting.
+ncs::NcsDevice* device_of(void* deviceHandle);
+
+/// The underlying device of a *graph* handle (nullptr on a bad handle).
+ncs::NcsDevice* graph_device(void* graphHandle);
+
+}  // namespace ncsw::mvnc

@@ -1,0 +1,232 @@
+#include "ncs/device.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ncsw::ncs {
+
+NcsDevice::NcsDevice(int id, UsbChannel& channel, const NcsConfig& config)
+    : id_(id), channel_(channel), config_(config), thermal_(config.thermal) {
+  if (config_.fifo_depth < 1) {
+    throw std::invalid_argument("NcsDevice: fifo_depth < 1");
+  }
+}
+
+sim::SimTime NcsDevice::open(sim::SimTime host_time) {
+  std::lock_guard lock(mutex_);
+  if (open_) throw std::logic_error("NcsDevice::open: already open");
+  // Firmware image download (~1.8 MB over USB) then boot.
+  const auto window =
+      channel_.transfer(host_time, 1'800'000);
+  ready_at_ = window.end + config_.firmware_boot_s;
+  open_ = true;
+  return ready_at_;
+}
+
+bool NcsDevice::is_open() const {
+  std::lock_guard lock(mutex_);
+  return open_;
+}
+
+void NcsDevice::unplug() {
+  std::lock_guard lock(mutex_);
+  unplugged_ = true;
+  fifo_.clear();  // in-flight inferences are lost with the link
+}
+
+bool NcsDevice::unplugged() const {
+  std::lock_guard lock(mutex_);
+  return unplugged_;
+}
+
+sim::SimTime NcsDevice::allocate_graph(const graphc::CompiledGraph& graph,
+                                       sim::SimTime host_time) {
+  std::lock_guard lock(mutex_);
+  if (!open_) throw std::logic_error("NcsDevice::allocate_graph: not open");
+  if (!fifo_.empty()) {
+    throw std::logic_error("NcsDevice::allocate_graph: inferences in flight");
+  }
+  // LPDDR3 capacity check: weights + double-buffered activations + IO.
+  const std::int64_t footprint =
+      graph.total_weight_bytes() + 2 * graph.total_activation_bytes() +
+      graph.input_bytes() + graph.output_bytes();
+  const std::int64_t available =
+      config_.lpddr_bytes - config_.runtime_reserved_bytes;
+  if (footprint > available) {
+    throw OutOfDeviceMemory(
+        "NcsDevice::allocate_graph: graph needs " +
+        std::to_string(footprint) + " bytes, stick has " +
+        std::to_string(available));
+  }
+  // Upload the graph file + weights, then let the RISC runtime parse and
+  // place buffers.
+  const std::int64_t blob_bytes =
+      graph.total_weight_bytes() + 64 * static_cast<std::int64_t>(graph.layers.size());
+  const auto window =
+      channel_.transfer(std::max(host_time, ready_at_), blob_bytes);
+  const double parse_s = config_.graph_alloc_per_mb_s *
+                         (static_cast<double>(blob_bytes) / (1024.0 * 1024.0));
+  ready_at_ = window.end + parse_s;
+
+  myriad::Myriad2 chip(config_.chip);
+  profile_ = chip.execute(graph);
+  graph_ = graph;
+  shave_free_at_ = ready_at_;
+  return ready_at_;
+}
+
+bool NcsDevice::has_graph() const {
+  std::lock_guard lock(mutex_);
+  return graph_.has_value();
+}
+
+const graphc::CompiledGraph& NcsDevice::graph() const {
+  std::lock_guard lock(mutex_);
+  if (!graph_) throw std::logic_error("NcsDevice::graph: none allocated");
+  return *graph_;
+}
+
+const myriad::InferenceProfile& NcsDevice::profile() const {
+  std::lock_guard lock(mutex_);
+  if (!graph_) throw std::logic_error("NcsDevice::profile: none allocated");
+  return profile_;
+}
+
+sim::SimTime NcsDevice::jittered_exec_time(std::uint64_t seq) const {
+  // Deterministic per (device, inference): stands in for run-to-run noise.
+  const std::uint64_t h = util::hash_mix(
+      0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(id_), seq);
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double factor = 1.0 + config_.exec_jitter_frac * (2.0 * u - 1.0);
+  return profile_.total_s * factor;
+}
+
+std::optional<InferenceTicket> NcsDevice::load_tensor(sim::SimTime host_time,
+                                                      void* user_param) {
+  std::lock_guard lock(mutex_);
+  if (unplugged_) throw DeviceUnplugged("NcsDevice::load_tensor");
+  if (!open_ || !graph_) {
+    throw std::logic_error("NcsDevice::load_tensor: device not ready");
+  }
+  if (static_cast<int>(fifo_.size()) >= config_.fifo_depth) {
+    return std::nullopt;  // MVNC_BUSY
+  }
+  InferenceTicket t;
+  t.seq = next_seq_++;
+  t.user_param = user_param;
+  t.issue = std::max(host_time, ready_at_);
+
+  // Input tensor DMA over the (possibly shared) USB channel, preceded by
+  // the RISC command handshake.
+  const auto window = channel_.transfer(t.issue + config_.command_overhead_s,
+                                        graph_->input_bytes());
+  t.input_done = window.end;
+
+  // Execution starts once the SHAVE array frees up and the input landed.
+  t.exec_start = std::max(t.input_done, shave_free_at_);
+  double exec_time = jittered_exec_time(t.seq);
+  if (config_.thermal_enabled) {
+    // Integrate the idle gap since the last modelled point, then apply
+    // the throttle level the firmware sees *at dispatch time*.
+    thermal_.advance(t.exec_start - thermal_clock_, config_.idle_power_w);
+    exec_time *= thermal_.slowdown();
+    thermal_.advance(exec_time,
+                     profile_.avg_power_w + config_.stick_overhead_w);
+    thermal_clock_ = t.exec_start + exec_time;
+  }
+  t.exec_end = t.exec_start + exec_time;
+  shave_free_at_ = t.exec_end;
+
+  fifo_.push_back(t);
+  return t;
+}
+
+std::optional<InferenceTicket> NcsDevice::get_result(sim::SimTime host_time) {
+  std::lock_guard lock(mutex_);
+  if (unplugged_) throw DeviceUnplugged("NcsDevice::get_result");
+  if (!open_ || !graph_) {
+    throw std::logic_error("NcsDevice::get_result: device not ready");
+  }
+  if (fifo_.empty()) return std::nullopt;
+  InferenceTicket t = fifo_.front();
+  fifo_.pop_front();
+
+  // Output transfer can only start when the execution finished and the
+  // host asked for it.
+  const sim::SimTime start =
+      std::max(host_time, t.exec_end) + config_.command_overhead_s;
+  const auto window = channel_.transfer(start, graph_->output_bytes());
+  t.result_ready = window.end;
+
+  ++completed_;
+  last_completion_ = std::max(last_completion_, t.result_ready);
+  energy_j_ += profile_.energy_j +
+               (t.exec_end - t.exec_start) * config_.stick_overhead_w;
+  return t;
+}
+
+int NcsDevice::queued() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<int>(fifo_.size());
+}
+
+std::uint64_t NcsDevice::completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+sim::SimTime NcsDevice::last_completion() const {
+  std::lock_guard lock(mutex_);
+  return last_completion_;
+}
+
+double NcsDevice::active_power_w() const {
+  std::lock_guard lock(mutex_);
+  return profile_.avg_power_w + config_.stick_overhead_w;
+}
+
+double NcsDevice::energy_j() const {
+  std::lock_guard lock(mutex_);
+  return energy_j_;
+}
+
+double NcsDevice::temperature_c() const {
+  std::lock_guard lock(mutex_);
+  return thermal_.temperature_c();
+}
+
+ThrottleLevel NcsDevice::throttle_level() const {
+  std::lock_guard lock(mutex_);
+  return thermal_.level();
+}
+
+int NcsDevice::soft_throttle_events() const {
+  std::lock_guard lock(mutex_);
+  return thermal_.soft_events();
+}
+
+int NcsDevice::hard_throttle_events() const {
+  std::lock_guard lock(mutex_);
+  return thermal_.hard_events();
+}
+
+std::vector<float> NcsDevice::thermal_history() const {
+  std::lock_guard lock(mutex_);
+  return thermal_.history();
+}
+
+void NcsDevice::set_temp_limits(double lower_c, double higher_c) {
+  std::lock_guard lock(mutex_);
+  thermal_.set_limits(lower_c, higher_c);
+}
+
+std::pair<double, double> NcsDevice::temp_limits() const {
+  std::lock_guard lock(mutex_);
+  return {thermal_.params().temp_lim_lower_c,
+          thermal_.params().temp_lim_higher_c};
+}
+
+}  // namespace ncsw::ncs

@@ -1,0 +1,75 @@
+#include "ncs/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncsw::ncs {
+
+ThermalModel::ThermalModel(const ThermalParams& params)
+    : params_(params), temp_c_(params.ambient_c) {
+  if (params_.resistance_c_per_w <= 0 || params_.time_constant_s <= 0 ||
+      params_.soft_throttle_factor < 1 || params_.hard_throttle_factor < 1) {
+    throw std::invalid_argument("ThermalModel: bad parameters");
+  }
+  set_limits(params_.temp_lim_lower_c, params_.temp_lim_higher_c);
+  record();
+}
+
+void ThermalModel::set_limits(double lower_c, double higher_c) {
+  if (!(lower_c < higher_c) || lower_c <= params_.ambient_c) {
+    throw std::invalid_argument("ThermalModel: limits must satisfy "
+                                "ambient < lower < higher");
+  }
+  params_.temp_lim_lower_c = lower_c;
+  params_.temp_lim_higher_c = higher_c;
+}
+
+void ThermalModel::advance(double duration_s, double power_w) noexcept {
+  if (duration_s <= 0.0) return;
+  // Exact solution of dT/dt = (T_target - T) / tau with
+  // T_target = ambient + P * R.
+  const double target = steady_state_c(std::max(0.0, power_w));
+  const double decay = std::exp(-duration_s / params_.time_constant_s);
+  temp_c_ = target + (temp_c_ - target) * decay;
+
+  // Hysteresis: step the published level one notch at a time.
+  const double hysteresis =
+      current_ == ThrottleLevel::kNone ? 0.0 : 2.0;
+  if (temp_c_ >= params_.temp_lim_higher_c) {
+    if (current_ != ThrottleLevel::kHard) ++hard_events_;
+    current_ = ThrottleLevel::kHard;
+  } else if (temp_c_ >= params_.temp_lim_lower_c - hysteresis) {
+    if (current_ == ThrottleLevel::kNone) ++soft_events_;
+    current_ = ThrottleLevel::kSoft;
+  } else {
+    current_ = ThrottleLevel::kNone;
+  }
+  record();
+}
+
+ThrottleLevel ThermalModel::level() const noexcept { return current_; }
+
+double ThermalModel::slowdown() const noexcept {
+  switch (current_) {
+    case ThrottleLevel::kNone:
+      return 1.0;
+    case ThrottleLevel::kSoft:
+      return params_.soft_throttle_factor;
+    case ThrottleLevel::kHard:
+      return params_.hard_throttle_factor;
+  }
+  return 1.0;
+}
+
+void ThermalModel::record() noexcept {
+  history_.push_back(static_cast<float>(temp_c_));
+  if (history_.size() > kHistoryCap) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() -
+                                                   kHistoryCap));
+  }
+}
+
+}  // namespace ncsw::ncs

@@ -1,0 +1,81 @@
+// First-order thermal model of the Neural Compute Stick.
+//
+// The real NCSDK exposes device temperature and two throttling
+// thresholds (TEMP_LIM_LOWER / TEMP_LIM_HIGHER): past the lower limit the
+// runtime drops performance one notch; past the higher limit it drops
+// hard until the stick cools. The stick is a closed plastic enclosure
+// with no heatsink, so sustained inference genuinely throttles — a
+// practical limit on the paper's multi-VPU scaling that its TDP-based
+// analysis abstracts away. We model the junction temperature as a
+// single-pole RC low-pass of dissipated power.
+#pragma once
+
+#include <vector>
+
+namespace ncsw::ncs {
+
+/// Thermal parameters (defaults approximate a bare NCS in free air).
+struct ThermalParams {
+  double ambient_c = 25.0;          ///< ambient temperature
+  double resistance_c_per_w = 18.0; ///< junction->ambient thermal resistance
+  double time_constant_s = 95.0;    ///< RC time constant
+  double temp_lim_lower_c = 70.0;   ///< soft throttle threshold (NCSDK)
+  double temp_lim_higher_c = 80.0;  ///< hard throttle threshold (NCSDK)
+  double soft_throttle_factor = 1.25;  ///< execution-time multiplier
+  double hard_throttle_factor = 2.0;   ///< execution-time multiplier
+};
+
+/// Throttling level derived from the current temperature.
+enum class ThrottleLevel : int { kNone = 0, kSoft = 1, kHard = 2 };
+
+/// Temperature integrator. Advance it with (duration, power) segments;
+/// query temperature and the throttle level.
+class ThermalModel {
+ public:
+  explicit ThermalModel(const ThermalParams& params = {});
+
+  const ThermalParams& params() const noexcept { return params_; }
+
+  /// Update thresholds (mvncSetDeviceOption). Lower must stay below
+  /// higher; throws std::invalid_argument otherwise.
+  void set_limits(double lower_c, double higher_c);
+
+  /// Integrate a segment of `duration` seconds at `power` Watts
+  /// (power = 0 models an idle gap). Negative durations are ignored.
+  void advance(double duration_s, double power_w) noexcept;
+
+  /// Current junction temperature (°C).
+  double temperature_c() const noexcept { return temp_c_; }
+
+  /// Throttle level at the current temperature (with 2 °C of hysteresis
+  /// when already throttling, like the firmware).
+  ThrottleLevel level() const noexcept;
+
+  /// Execution-time multiplier for the current level.
+  double slowdown() const noexcept;
+
+  /// Steady-state temperature for a constant power draw.
+  double steady_state_c(double power_w) const noexcept {
+    return params_.ambient_c + power_w * params_.resistance_c_per_w;
+  }
+
+  /// Recent temperature samples, most recent last (MVNC_THERMAL_STATS).
+  const std::vector<float>& history() const noexcept { return history_; }
+
+  /// Times the model crossed into soft/hard throttling.
+  int soft_events() const noexcept { return soft_events_; }
+  int hard_events() const noexcept { return hard_events_; }
+
+ private:
+  void record() noexcept;
+
+  ThermalParams params_;
+  double temp_c_;
+  ThrottleLevel current_ = ThrottleLevel::kNone;
+  int soft_events_ = 0;
+  int hard_events_ = 0;
+  std::vector<float> history_;
+  static constexpr std::size_t kHistoryCap = 128;
+};
+
+}  // namespace ncsw::ncs

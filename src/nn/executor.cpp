@@ -1,0 +1,173 @@
+#include "nn/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ncsw::nn {
+
+namespace {
+
+// Number of consumers per layer, to free activations eagerly.
+std::vector<int> consumer_counts(const Graph& graph) {
+  std::vector<int> counts(static_cast<std::size_t>(graph.size()), 0);
+  for (const Layer& l : graph.layers()) {
+    for (int in : l.inputs) ++counts[static_cast<std::size_t>(in)];
+  }
+  // The final layer's activation is always "consumed" by the caller.
+  counts[static_cast<std::size_t>(graph.output_id())] += 1;
+  return counts;
+}
+
+}  // namespace
+
+template <typename T>
+ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
+                          const tensor::Tensor<T>& input,
+                          const ExecOptions& options) {
+  graph.validate();
+  check_weights(graph, weights);
+  const Layer& in_layer = graph.layer(graph.input_id());
+  const Shape expected = in_layer.out_shape.with_batch(input.shape().n);
+  if (input.shape() != expected) {
+    throw std::invalid_argument("run_forward: input shape " +
+                                input.shape().to_string() + ", expected " +
+                                expected.to_string());
+  }
+
+  std::vector<tensor::Tensor<T>> acts(static_cast<std::size_t>(graph.size()));
+  std::vector<int> remaining = consumer_counts(graph);
+  acts[0] = input;
+
+  auto release = [&](int id) {
+    if (options.keep_all_activations) return;
+    auto& r = remaining[static_cast<std::size_t>(id)];
+    if (--r == 0 && id != graph.output_id()) {
+      acts[static_cast<std::size_t>(id)] = tensor::Tensor<T>{};
+    }
+  };
+
+  for (int id = 1; id < graph.size(); ++id) {
+    const Layer& l = graph.layer(id);
+    const tensor::Tensor<T>& src = acts[static_cast<std::size_t>(l.inputs[0])];
+    tensor::Tensor<T>& dst = acts[static_cast<std::size_t>(id)];
+    switch (l.kind) {
+      case LayerKind::kInput:
+        throw std::logic_error("run_forward: unexpected input layer");
+      case LayerKind::kConv:
+        kernels::conv2d(src, weights.at(l.name), l.conv, dst);
+        break;
+      case LayerKind::kReLU:
+        dst = src;
+        kernels::relu(dst);
+        break;
+      case LayerKind::kMaxPool:
+        kernels::max_pool(src, l.pool, dst);
+        break;
+      case LayerKind::kAvgPool:
+        kernels::avg_pool(src, l.pool, dst);
+        break;
+      case LayerKind::kLRN:
+        kernels::lrn(src, l.lrn, dst);
+        break;
+      case LayerKind::kConcat: {
+        std::vector<const tensor::Tensor<T>*> ins;
+        ins.reserve(l.inputs.size());
+        for (int in : l.inputs) {
+          ins.push_back(&acts[static_cast<std::size_t>(in)]);
+        }
+        kernels::concat(ins, dst);
+        break;
+      }
+      case LayerKind::kFC:
+        kernels::fully_connected(src, weights.at(l.name), l.fc, dst);
+        break;
+      case LayerKind::kSoftmax:
+        kernels::softmax(src, dst);
+        break;
+      case LayerKind::kDropout:
+        dst = src;  // inference-time dropout is the identity
+        break;
+    }
+    // Sanity: computed shape must match the inferred one.
+    const Shape want = l.out_shape.with_batch(input.shape().n);
+    if (dst.shape() != want) {
+      throw std::logic_error("run_forward: layer '" + l.name +
+                             "' produced " + dst.shape().to_string() +
+                             ", inferred " + want.to_string());
+    }
+    for (int in : l.inputs) release(in);
+  }
+
+  ExecResult<T> result;
+  result.output = std::move(acts[static_cast<std::size_t>(graph.output_id())]);
+  if (options.keep_all_activations) {
+    result.activations = std::move(acts);
+    // Restore the moved-out output slot for consistency.
+    result.activations[static_cast<std::size_t>(graph.output_id())] =
+        result.output;
+  }
+  return result;
+}
+
+template <typename T>
+std::vector<std::vector<float>> run_probabilities(
+    const Graph& graph, const Weights<T>& weights,
+    const tensor::Tensor<T>& input) {
+  auto result = run_forward(graph, weights, input);
+  const auto& out = result.output;
+  const std::int64_t batch = out.shape().n;
+  const std::int64_t dim = out.shape().chw();
+  std::vector<std::vector<float>> probs(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    auto& row = probs[static_cast<std::size_t>(b)];
+    row.resize(static_cast<std::size_t>(dim));
+    const T* src = out.batch_ptr(b);
+    for (std::int64_t i = 0; i < dim; ++i) {
+      row[static_cast<std::size_t>(i)] = static_cast<float>(src[i]);
+    }
+  }
+  return probs;
+}
+
+std::vector<int> argmax_per_item(
+    const std::vector<std::vector<float>>& probs) {
+  std::vector<int> out;
+  out.reserve(probs.size());
+  for (const auto& row : probs) {
+    const auto it = std::max_element(row.begin(), row.end());
+    out.push_back(static_cast<int>(it - row.begin()));
+  }
+  return out;
+}
+
+std::vector<std::pair<int, float>> top_k(const std::vector<float>& probs,
+                                         int k) {
+  std::vector<std::pair<int, float>> items;
+  items.reserve(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    items.emplace_back(static_cast<int>(i), probs[i]);
+  }
+  const std::size_t kk = std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)), items.size());
+  std::partial_sort(items.begin(), items.begin() + static_cast<std::ptrdiff_t>(kk),
+                    items.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  items.resize(kk);
+  return items;
+}
+
+template ExecResult<float> run_forward<float>(const Graph&,
+                                              const Weights<float>&,
+                                              const tensor::Tensor<float>&,
+                                              const ExecOptions&);
+template ExecResult<ncsw::fp16::half> run_forward<ncsw::fp16::half>(
+    const Graph&, const Weights<ncsw::fp16::half>&,
+    const tensor::Tensor<ncsw::fp16::half>&, const ExecOptions&);
+template std::vector<std::vector<float>> run_probabilities<float>(
+    const Graph&, const Weights<float>&, const tensor::Tensor<float>&);
+template std::vector<std::vector<float>> run_probabilities<ncsw::fp16::half>(
+    const Graph&, const Weights<ncsw::fp16::half>&,
+    const tensor::Tensor<ncsw::fp16::half>&);
+
+}  // namespace ncsw::nn

@@ -1,0 +1,54 @@
+// Functional graph executor. Runs a validated Graph over a batched input
+// tensor in either precision, producing the output activation and
+// (optionally) retaining all intermediate activations for inspection —
+// which is how the tests diff FP32 against FP16 layer by layer.
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/kernels.h"
+#include "nn/weights.h"
+#include "tensor/tensor.h"
+
+namespace ncsw::nn {
+
+/// Execution options.
+struct ExecOptions {
+  /// Keep every layer's activation (memory-heavy; default keeps only what
+  /// downstream layers still need).
+  bool keep_all_activations = false;
+};
+
+/// Result of a forward pass.
+template <typename T>
+struct ExecResult {
+  /// Output of the final layer.
+  tensor::Tensor<T> output;
+  /// When keep_all_activations: one activation per layer id (else empty).
+  std::vector<tensor::Tensor<T>> activations;
+};
+
+/// Run `graph` forward on `input` (shape must match the graph's input
+/// layer, any batch size). Throws on shape or weight mismatches.
+template <typename T>
+ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
+                          const tensor::Tensor<T>& input,
+                          const ExecOptions& options = {});
+
+/// Convenience: run and return softmax class probabilities as FP32,
+/// one vector of size C per batch item.
+template <typename T>
+std::vector<std::vector<float>> run_probabilities(
+    const Graph& graph, const Weights<T>& weights,
+    const tensor::Tensor<T>& input);
+
+/// Index of the most probable class per batch item.
+std::vector<int> argmax_per_item(const std::vector<std::vector<float>>& probs);
+
+/// Top-k (index, probability) pairs for one probability vector, sorted by
+/// descending probability (ties broken by lower index).
+std::vector<std::pair<int, float>> top_k(const std::vector<float>& probs,
+                                         int k);
+
+}  // namespace ncsw::nn

@@ -1,0 +1,68 @@
+// GoogLeNet (Szegedy et al., CVPR'15) topology builders.
+//
+// `build_googlenet()` reproduces the BVLC GoogLeNet deploy topology layer
+// by layer (224x224x3 input, 9 inception modules, 1000 classes). It drives
+// the graph compiler and the VPU/CPU/GPU timing models, so the simulated
+// throughput figures are derived from the real network structure.
+//
+// `build_tiny_googlenet()` is a structurally identical scaled-down network
+// (same module pattern: stem convs + LRN + inception stacks + global
+// average pool + FC + softmax) that is cheap enough to execute
+// *functionally* in both FP32 and FP16 for the error-rate experiments
+// (paper Fig. 7). We cannot train a network from scratch here, so its
+// final classifier is fitted by feature-space template matching
+// (`fit_template_classifier`), giving an honest, tunable top-1 error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/executor.h"
+#include "nn/graph.h"
+#include "nn/weights.h"
+
+namespace ncsw::nn {
+
+/// Inception module channel specification (Szegedy Table 1 columns).
+struct InceptionSpec {
+  int c1;    ///< #1x1
+  int c3r;   ///< #3x3 reduce
+  int c3;    ///< #3x3
+  int c5r;   ///< #5x5 reduce
+  int c5;    ///< #5x5
+  int pool;  ///< pool proj
+};
+
+/// Append a full inception module; returns the concat layer id.
+int add_inception(Graph& graph, const std::string& prefix, int input,
+                  const InceptionSpec& spec);
+
+/// The BVLC GoogLeNet deploy network: input 3x224x224, output 1000-way
+/// softmax. Layer names follow the prototxt (conv1/7x7_s2, inception_3a/...,
+/// loss3/classifier, prob).
+Graph build_googlenet();
+
+/// Configuration for the reduced functional network.
+struct TinyGoogLeNetConfig {
+  int input_size = 32;   ///< square input edge
+  int num_classes = 50;  ///< synthetic ILSVRC classes
+};
+
+/// Scaled-down GoogLeNet: same stem / LRN / inception / global-pool / FC
+/// structure at 1/7 the input edge and ~1/20 the channel widths.
+Graph build_tiny_googlenet(const TinyGoogLeNetConfig& config = {});
+
+/// Fit the final FC layer by template matching: runs each prototype input
+/// through the feature extractor (the FC layer's input activation) and
+/// sets FC row c to the L2-normalised feature vector of prototype c.
+/// `prototypes[c]` must be a 1 x C x H x W tensor matching the graph input.
+/// The bias is set to zero. Throws if sizes are inconsistent.
+void fit_template_classifier(const Graph& graph, WeightsF& weights,
+                             const std::string& fc_name,
+                             const std::vector<tensor::TensorF>& prototypes);
+
+/// Total multiply-accumulate count of one forward pass (batch 1).
+std::int64_t graph_macs(const Graph& graph);
+
+}  // namespace ncsw::nn

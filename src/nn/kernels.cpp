@@ -1,0 +1,310 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+
+namespace ncsw::nn::kernels {
+
+namespace {
+
+using ncsw::fp16::half;
+
+// GEMM dispatch over precision.
+inline void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const float* a, const float* b, float beta,
+                 float* c) noexcept {
+  tensor::gemm_f32(m, n, k, alpha, a, b, beta, c);
+}
+inline void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const half* a, const half* b, float beta, half* c) noexcept {
+  tensor::gemm_f16(m, n, k, alpha, a, b, beta, c);
+}
+
+// im2col: expand the input patch matrix so convolution becomes a GEMM.
+// Column layout: rows = inC*k*k, cols = outH*outW (one batch item).
+template <typename T>
+void im2col(const T* in, std::int64_t channels, std::int64_t height,
+            std::int64_t width, int kernel, int stride, int pad,
+            std::int64_t out_h, std::int64_t out_w, T* col) noexcept {
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        T* dst = col + ((c * kernel + ky) * kernel + kx) * out_h * out_w;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) {
+            std::fill(dst + oy * out_w, dst + (oy + 1) * out_w, T{});
+            continue;
+          }
+          const T* src_row = in + (c * height + iy) * width;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            dst[oy * out_w + ox] =
+                (ix >= 0 && ix < width) ? src_row[ix] : T{};
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void conv2d(const Tensor<T>& in, const LayerParams<T>& params,
+            const ConvParams& p, Tensor<T>& out) {
+  const Shape& is = in.shape();
+  const std::int64_t oh = conv_extent(is.h, p.kernel, p.stride, p.pad);
+  const std::int64_t ow = conv_extent(is.w, p.kernel, p.stride, p.pad);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv2d: kernel does not fit");
+  }
+  if (params.w.shape() !=
+      Shape{p.out_channels, is.c, p.kernel, p.kernel}) {
+    throw std::invalid_argument("conv2d: weight shape mismatch: " +
+                                params.w.shape().to_string());
+  }
+  out.resize(Shape{is.n, p.out_channels, oh, ow});
+
+  const std::int64_t k_dim = is.c * p.kernel * p.kernel;
+  const std::int64_t n_dim = oh * ow;
+  std::vector<T> col(static_cast<std::size_t>(k_dim * n_dim));
+
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    im2col(in.batch_ptr(b), is.c, is.h, is.w, p.kernel, p.stride, p.pad, oh,
+           ow, col.data());
+    // out[b] = W[outC x k_dim] * col[k_dim x n_dim]
+    gemm(p.out_channels, n_dim, k_dim, 1.0f, params.w.data(), col.data(),
+         0.0f, out.batch_ptr(b));
+    // Bias add (rounded per element in FP16 by operator+).
+    for (std::int64_t oc = 0; oc < p.out_channels; ++oc) {
+      const T bias = params.b[oc];
+      T* dst = out.batch_ptr(b) + oc * n_dim;
+      for (std::int64_t i = 0; i < n_dim; ++i) dst[i] += bias;
+    }
+  }
+}
+
+template <typename T>
+void relu(Tensor<T>& x) {
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (static_cast<float>(x[i]) < 0.0f) x[i] = T{};
+  }
+}
+
+template <typename T>
+void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out) {
+  const Shape& is = in.shape();
+  const int kernel = p.global ? static_cast<int>(std::max(is.h, is.w)) : p.kernel;
+  const int stride = p.global ? 1 : p.stride;
+  const int pad = p.global ? 0 : p.pad;
+  const std::int64_t oh =
+      p.global ? 1 : pooled_extent(is.h, kernel, stride, pad, p.ceil_mode);
+  const std::int64_t ow =
+      p.global ? 1 : pooled_extent(is.w, kernel, stride, pad, p.ceil_mode);
+  out.resize(Shape{is.n, is.c, oh, ow});
+
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    for (std::int64_t c = 0; c < is.c; ++c) {
+      const T* src = in.data() + (b * is.c + c) * is.hw();
+      T* dst = out.data() + (b * is.c + c) * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const std::int64_t y0 = std::max<std::int64_t>(oy * stride - pad, 0);
+          const std::int64_t x0 = std::max<std::int64_t>(ox * stride - pad, 0);
+          const std::int64_t y1 =
+              std::min<std::int64_t>(oy * stride - pad + kernel, is.h);
+          const std::int64_t x1 =
+              std::min<std::int64_t>(ox * stride - pad + kernel, is.w);
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t y = y0; y < y1; ++y) {
+            for (std::int64_t x = x0; x < x1; ++x) {
+              best = std::max(best, static_cast<float>(src[y * is.w + x]));
+            }
+          }
+          dst[oy * ow + ox] = tensor::scalar_cast<T>(best);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out) {
+  const Shape& is = in.shape();
+  const bool global = p.global;
+  const int kernel = global ? 0 : p.kernel;
+  const int stride = global ? 1 : p.stride;
+  const int pad = global ? 0 : p.pad;
+  const std::int64_t oh =
+      global ? 1 : pooled_extent(is.h, kernel, stride, pad, p.ceil_mode);
+  const std::int64_t ow =
+      global ? 1 : pooled_extent(is.w, kernel, stride, pad, p.ceil_mode);
+  out.resize(Shape{is.n, is.c, oh, ow});
+
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    for (std::int64_t c = 0; c < is.c; ++c) {
+      const T* src = in.data() + (b * is.c + c) * is.hw();
+      T* dst = out.data() + (b * is.c + c) * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          std::int64_t y0, x0, y1, x1;
+          double divisor;
+          if (global) {
+            y0 = 0;
+            x0 = 0;
+            y1 = is.h;
+            x1 = is.w;
+            divisor = static_cast<double>(is.hw());
+          } else {
+            y0 = std::max<std::int64_t>(oy * stride - pad, 0);
+            x0 = std::max<std::int64_t>(ox * stride - pad, 0);
+            y1 = std::min<std::int64_t>(oy * stride - pad + kernel, is.h);
+            x1 = std::min<std::int64_t>(ox * stride - pad + kernel, is.w);
+            // Caffe AVE pooling divides by the padded window size.
+            const std::int64_t py1 =
+                std::min<std::int64_t>(oy * stride - pad + kernel, is.h + pad);
+            const std::int64_t px1 =
+                std::min<std::int64_t>(ox * stride - pad + kernel, is.w + pad);
+            const std::int64_t py0 = oy * stride - pad;
+            const std::int64_t px0 = ox * stride - pad;
+            divisor = static_cast<double>((py1 - py0) * (px1 - px0));
+          }
+          double sum = 0.0;
+          for (std::int64_t y = y0; y < y1; ++y) {
+            for (std::int64_t x = x0; x < x1; ++x) {
+              sum += static_cast<float>(src[y * is.w + x]);
+            }
+          }
+          dst[oy * ow + ox] =
+              tensor::scalar_cast<T>(static_cast<float>(sum / divisor));
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out) {
+  const Shape& is = in.shape();
+  out.resize(is);
+  const int half_win = p.local_size / 2;
+  const float alpha_over_n = p.alpha / static_cast<float>(p.local_size);
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    for (std::int64_t y = 0; y < is.h; ++y) {
+      for (std::int64_t x = 0; x < is.w; ++x) {
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          const std::int64_t c0 = std::max<std::int64_t>(c - half_win, 0);
+          const std::int64_t c1 = std::min<std::int64_t>(c + half_win, is.c - 1);
+          float sumsq = 0.0f;
+          for (std::int64_t cc = c0; cc <= c1; ++cc) {
+            const float v = static_cast<float>(in.at(b, cc, y, x));
+            sumsq += v * v;
+          }
+          const float scale = p.k + alpha_over_n * sumsq;
+          const float v = static_cast<float>(in.at(b, c, y, x)) /
+                          std::pow(scale, p.beta);
+          out.at(b, c, y, x) = tensor::scalar_cast<T>(v);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void concat(const std::vector<const Tensor<T>*>& ins, Tensor<T>& out) {
+  if (ins.empty()) throw std::invalid_argument("concat: no inputs");
+  const Shape& first = ins[0]->shape();
+  std::int64_t channels = 0;
+  for (const auto* t : ins) {
+    const Shape& s = t->shape();
+    if (s.n != first.n || s.h != first.h || s.w != first.w) {
+      throw std::invalid_argument("concat: shape mismatch");
+    }
+    channels += s.c;
+  }
+  out.resize(Shape{first.n, channels, first.h, first.w});
+  for (std::int64_t b = 0; b < first.n; ++b) {
+    std::int64_t c_off = 0;
+    for (const auto* t : ins) {
+      const Shape& s = t->shape();
+      const T* src = t->batch_ptr(b);
+      T* dst = out.batch_ptr(b) + c_off * first.hw();
+      std::copy(src, src + s.chw(), dst);
+      c_off += s.c;
+    }
+  }
+}
+
+template <typename T>
+void fully_connected(const Tensor<T>& in, const LayerParams<T>& params,
+                     const FCParams& p, Tensor<T>& out) {
+  const Shape& is = in.shape();
+  const std::int64_t in_dim = is.chw();
+  if (params.w.shape() != Shape{p.out_features, in_dim, 1, 1}) {
+    throw std::invalid_argument("fully_connected: weight shape mismatch: " +
+                                params.w.shape().to_string());
+  }
+  out.resize(Shape{is.n, p.out_features, 1, 1});
+  // out[b] = W[outF x in_dim] * in[b]; batched as GEMM with n = 1 columns
+  // per batch item (kept simple; batch sizes here are <= 16).
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    gemm(p.out_features, 1, in_dim, 1.0f, params.w.data(), in.batch_ptr(b),
+         0.0f, out.batch_ptr(b));
+    T* dst = out.batch_ptr(b);
+    for (std::int64_t f = 0; f < p.out_features; ++f) {
+      dst[f] += params.b[f];
+    }
+  }
+}
+
+template <typename T>
+void softmax(const Tensor<T>& in, Tensor<T>& out) {
+  const Shape& is = in.shape();
+  out.resize(is);
+  const std::int64_t dim = is.chw();
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    const T* src = in.batch_ptr(b);
+    T* dst = out.batch_ptr(b);
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (std::int64_t i = 0; i < dim; ++i) {
+      max_v = std::max(max_v, static_cast<float>(src[i]));
+    }
+    double sum = 0.0;
+    std::vector<float> e(static_cast<std::size_t>(dim));
+    for (std::int64_t i = 0; i < dim; ++i) {
+      e[static_cast<std::size_t>(i)] =
+          std::exp(static_cast<float>(src[i]) - max_v);
+      sum += e[static_cast<std::size_t>(i)];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t i = 0; i < dim; ++i) {
+      dst[i] = tensor::scalar_cast<T>(e[static_cast<std::size_t>(i)] * inv);
+    }
+  }
+}
+
+// Explicit instantiations for the two supported precisions.
+#define NCSW_INSTANTIATE_KERNELS(T)                                          \
+  template void conv2d<T>(const Tensor<T>&, const LayerParams<T>&,           \
+                          const ConvParams&, Tensor<T>&);                    \
+  template void relu<T>(Tensor<T>&);                                         \
+  template void max_pool<T>(const Tensor<T>&, const PoolParams&, Tensor<T>&);\
+  template void avg_pool<T>(const Tensor<T>&, const PoolParams&, Tensor<T>&);\
+  template void lrn<T>(const Tensor<T>&, const LRNParams&, Tensor<T>&);      \
+  template void concat<T>(const std::vector<const Tensor<T>*>&, Tensor<T>&); \
+  template void fully_connected<T>(const Tensor<T>&, const LayerParams<T>&,  \
+                                   const FCParams&, Tensor<T>&);             \
+  template void softmax<T>(const Tensor<T>&, Tensor<T>&);
+
+NCSW_INSTANTIATE_KERNELS(float)
+NCSW_INSTANTIATE_KERNELS(ncsw::fp16::half)
+
+#undef NCSW_INSTANTIATE_KERNELS
+
+}  // namespace ncsw::nn::kernels

@@ -1,0 +1,54 @@
+// Reference layer kernels, templated over precision. The FP32
+// instantiation is the "Caffe-MKL" functional path; the FP16 instantiation
+// is the Myriad-2 path (FP16 storage, FP32 accumulation where a hardware
+// MAC pipeline would keep a wide accumulator, per-element rounding on
+// write-back).
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/weights.h"
+#include "tensor/tensor.h"
+
+namespace ncsw::nn::kernels {
+
+using tensor::Tensor;
+
+/// 2-D convolution via im2col + GEMM. `out` is resized to the batched
+/// output shape.
+template <typename T>
+void conv2d(const Tensor<T>& in, const LayerParams<T>& params,
+            const ConvParams& p, Tensor<T>& out);
+
+/// In-place ReLU.
+template <typename T>
+void relu(Tensor<T>& x);
+
+/// Max pooling (Caffe semantics: padded cells never win; ceil_mode sizes).
+template <typename T>
+void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out);
+
+/// Average pooling. Matches Caffe: the divisor is the full window size
+/// including padding cells (AVE pooling with pad counts zeros).
+template <typename T>
+void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out);
+
+/// Across-channel LRN. Accumulation in FP32 for both precisions.
+template <typename T>
+void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out);
+
+/// Channel concatenation. Inputs must agree on n/h/w.
+template <typename T>
+void concat(const std::vector<const Tensor<T>*>& ins, Tensor<T>& out);
+
+/// Fully connected: out[n, f] = sum_i w[f, i] * in[n, i] + b[f].
+template <typename T>
+void fully_connected(const Tensor<T>& in, const LayerParams<T>& params,
+                     const FCParams& p, Tensor<T>& out);
+
+/// Channel-wise softmax (numerically stabilised; always computed in FP32).
+template <typename T>
+void softmax(const Tensor<T>& in, Tensor<T>& out);
+
+}  // namespace ncsw::nn::kernels

@@ -1,0 +1,265 @@
+#include "nn/serialize.h"
+
+#include <stdexcept>
+
+namespace ncsw::nn {
+
+// "NNGR" / "NNWT" little-endian magics.
+static constexpr std::uint32_t kMagicGraph = 0x52474e4eu;
+static constexpr std::uint32_t kMagicWeights = 0x54574e4eu;
+static constexpr std::uint32_t kVersion = 1;
+
+void write_graph(util::BinWriter& w, const Graph& graph) {
+  graph.validate();
+  w.put(kMagicGraph);
+  w.put(kVersion);
+  w.put_string(graph.name());
+  w.put(static_cast<std::uint32_t>(graph.size()));
+  for (const Layer& l : graph.layers()) {
+    w.put(static_cast<std::uint8_t>(l.kind));
+    w.put_string(l.name);
+    w.put(static_cast<std::uint32_t>(l.inputs.size()));
+    for (int in : l.inputs) w.put(static_cast<std::int32_t>(in));
+    switch (l.kind) {
+      case LayerKind::kInput:
+        w.put(l.out_shape.c);
+        w.put(l.out_shape.h);
+        w.put(l.out_shape.w);
+        break;
+      case LayerKind::kConv:
+        w.put(static_cast<std::int32_t>(l.conv.out_channels));
+        w.put(static_cast<std::int32_t>(l.conv.kernel));
+        w.put(static_cast<std::int32_t>(l.conv.stride));
+        w.put(static_cast<std::int32_t>(l.conv.pad));
+        break;
+      case LayerKind::kMaxPool:
+      case LayerKind::kAvgPool:
+        w.put(static_cast<std::int32_t>(l.pool.kernel));
+        w.put(static_cast<std::int32_t>(l.pool.stride));
+        w.put(static_cast<std::int32_t>(l.pool.pad));
+        w.put(static_cast<std::uint8_t>(l.pool.ceil_mode ? 1 : 0));
+        w.put(static_cast<std::uint8_t>(l.pool.global ? 1 : 0));
+        break;
+      case LayerKind::kLRN:
+        w.put(static_cast<std::int32_t>(l.lrn.local_size));
+        w.put(l.lrn.alpha);
+        w.put(l.lrn.beta);
+        w.put(l.lrn.k);
+        break;
+      case LayerKind::kFC:
+        w.put(static_cast<std::int32_t>(l.fc.out_features));
+        break;
+      case LayerKind::kReLU:
+      case LayerKind::kConcat:
+      case LayerKind::kSoftmax:
+      case LayerKind::kDropout:
+        break;
+    }
+  }
+}
+
+Graph read_graph(util::BinReader& r) {
+  if (r.get<std::uint32_t>() != kMagicGraph) {
+    throw std::runtime_error("graph: bad magic");
+  }
+  if (r.get<std::uint32_t>() != kVersion) {
+    throw std::runtime_error("graph: unsupported version");
+  }
+  Graph graph(r.get_string());
+  const auto count = r.get<std::uint32_t>();
+  if (count == 0 || count > 1u << 16) {
+    throw std::runtime_error("graph: bad layer count");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto kind_raw = r.get<std::uint8_t>();
+    if (kind_raw > static_cast<std::uint8_t>(LayerKind::kDropout)) {
+      throw std::runtime_error("graph: bad layer kind");
+    }
+    const auto kind = static_cast<LayerKind>(kind_raw);
+    const std::string name = r.get_string();
+    const auto n_inputs = r.get<std::uint32_t>();
+    if (n_inputs > 64) throw std::runtime_error("graph: too many inputs");
+    std::vector<int> inputs;
+    inputs.reserve(n_inputs);
+    for (std::uint32_t j = 0; j < n_inputs; ++j) {
+      inputs.push_back(r.get<std::int32_t>());
+    }
+    try {
+      switch (kind) {
+        case LayerKind::kInput: {
+          const auto c = r.get<std::int64_t>();
+          const auto h = r.get<std::int64_t>();
+          const auto wdt = r.get<std::int64_t>();
+          graph.add_input(name, static_cast<int>(c), static_cast<int>(h),
+                          static_cast<int>(wdt));
+          break;
+        }
+        case LayerKind::kConv: {
+          ConvParams p;
+          p.out_channels = r.get<std::int32_t>();
+          p.kernel = r.get<std::int32_t>();
+          p.stride = r.get<std::int32_t>();
+          p.pad = r.get<std::int32_t>();
+          graph.add_conv(name, inputs.at(0), p);
+          break;
+        }
+        case LayerKind::kMaxPool:
+        case LayerKind::kAvgPool: {
+          PoolParams p;
+          p.kernel = r.get<std::int32_t>();
+          p.stride = r.get<std::int32_t>();
+          p.pad = r.get<std::int32_t>();
+          p.ceil_mode = r.get<std::uint8_t>() != 0;
+          p.global = r.get<std::uint8_t>() != 0;
+          if (kind == LayerKind::kMaxPool) {
+            graph.add_max_pool(name, inputs.at(0), p);
+          } else {
+            graph.add_avg_pool(name, inputs.at(0), p);
+          }
+          break;
+        }
+        case LayerKind::kLRN: {
+          LRNParams p;
+          p.local_size = r.get<std::int32_t>();
+          p.alpha = r.get<float>();
+          p.beta = r.get<float>();
+          p.k = r.get<float>();
+          graph.add_lrn(name, inputs.at(0), p);
+          break;
+        }
+        case LayerKind::kFC: {
+          FCParams p;
+          p.out_features = r.get<std::int32_t>();
+          graph.add_fc(name, inputs.at(0), p);
+          break;
+        }
+        case LayerKind::kReLU:
+          graph.add_relu(name, inputs.at(0));
+          break;
+        case LayerKind::kConcat:
+          graph.add_concat(name, inputs);
+          break;
+        case LayerKind::kSoftmax:
+          graph.add_softmax(name, inputs.at(0));
+          break;
+        case LayerKind::kDropout:
+          graph.add_dropout(name, inputs.at(0));
+          break;
+      }
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error("graph: missing layer input");
+    } catch (const std::logic_error& e) {
+      throw std::runtime_error(std::string("graph: invalid structure: ") +
+                               e.what());
+    }
+  }
+  graph.validate();
+  return graph;
+}
+
+std::vector<std::uint8_t> serialize_graph(const Graph& graph) {
+  util::BinWriter w;
+  write_graph(w, graph);
+  return w.take();
+}
+
+Graph deserialize_graph(const std::vector<std::uint8_t>& bytes) {
+  util::BinReader r(bytes);
+  Graph g = read_graph(r);
+  if (!r.done()) throw std::runtime_error("graph: trailing bytes");
+  return g;
+}
+
+namespace {
+
+template <typename T>
+void write_weights_impl(util::BinWriter& w, const Weights<T>& weights,
+                        std::uint8_t precision_tag) {
+  w.put(kMagicWeights);
+  w.put(kVersion);
+  w.put(precision_tag);
+  w.put(static_cast<std::uint32_t>(weights.size()));
+  for (const auto& [name, p] : weights) {
+    w.put_string(name);
+    for (const auto* t : {&p.w, &p.b}) {
+      const auto& s = t->shape();
+      w.put(s.n);
+      w.put(s.c);
+      w.put(s.h);
+      w.put(s.w);
+      w.put_bytes(t->data(), static_cast<std::size_t>(t->numel()) * sizeof(T));
+    }
+  }
+}
+
+template <typename T>
+Weights<T> read_weights_impl(util::BinReader& r,
+                             std::uint8_t precision_tag) {
+  if (r.get<std::uint32_t>() != kMagicWeights) {
+    throw std::runtime_error("weights: bad magic");
+  }
+  if (r.get<std::uint32_t>() != kVersion) {
+    throw std::runtime_error("weights: unsupported version");
+  }
+  if (r.get<std::uint8_t>() != precision_tag) {
+    throw std::runtime_error("weights: precision mismatch");
+  }
+  const auto count = r.get<std::uint32_t>();
+  if (count > 1u << 16) throw std::runtime_error("weights: bad count");
+  Weights<T> out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = r.get_string();
+    LayerParams<T>& p = out[name];
+    for (auto* t : {&p.w, &p.b}) {
+      tensor::Shape s;
+      s.n = r.get<std::int64_t>();
+      s.c = r.get<std::int64_t>();
+      s.h = r.get<std::int64_t>();
+      s.w = r.get<std::int64_t>();
+      if (!s.valid() || s.numel() > (std::int64_t{1} << 28)) {
+        throw std::runtime_error("weights: bad tensor shape");
+      }
+      t->resize(s);
+      r.get_bytes(t->data(), static_cast<std::size_t>(t->numel()) * sizeof(T));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_weights(util::BinWriter& w, const WeightsH& weights) {
+  write_weights_impl(w, weights, 0);
+}
+
+WeightsH read_weights_f16(util::BinReader& r) {
+  return read_weights_impl<ncsw::fp16::half>(r, 0);
+}
+
+std::vector<std::uint8_t> serialize_weights(const WeightsH& weights) {
+  util::BinWriter w;
+  write_weights_impl(w, weights, 0);
+  return w.take();
+}
+
+std::vector<std::uint8_t> serialize_weights(const WeightsF& weights) {
+  util::BinWriter w;
+  write_weights_impl(w, weights, 1);
+  return w.take();
+}
+
+WeightsH deserialize_weights_f16(const std::vector<std::uint8_t>& bytes) {
+  util::BinReader r(bytes);
+  auto out = read_weights_impl<ncsw::fp16::half>(r, 0);
+  if (!r.done()) throw std::runtime_error("weights: trailing bytes");
+  return out;
+}
+
+WeightsF deserialize_weights_f32(const std::vector<std::uint8_t>& bytes) {
+  util::BinReader r(bytes);
+  auto out = read_weights_impl<float>(r, 1);
+  if (!r.done()) throw std::runtime_error("weights: trailing bytes");
+  return out;
+}
+
+}  // namespace ncsw::nn

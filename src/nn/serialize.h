@@ -1,0 +1,42 @@
+// Binary serialisation of network structures and parameter sets — the
+// prototxt / caffemodel role in the paper's toolchain. A Graph and a
+// Weights set round-trip bit-exactly; the graph compiler embeds both in
+// self-contained graph files (graphc::serialize_package) so a stick can
+// execute a network functionally from the blob alone, the way a real NCS
+// graph file carries its weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/weights.h"
+#include "util/binio.h"
+
+namespace ncsw::nn {
+
+/// Serialise a graph's structure (magic "NNGR", version 1).
+std::vector<std::uint8_t> serialize_graph(const Graph& graph);
+
+/// Parse a graph; throws std::runtime_error on malformed input and
+/// re-validates the result.
+Graph deserialize_graph(const std::vector<std::uint8_t>& bytes);
+
+/// Serialise an FP16 parameter set (magic "NNWT").
+std::vector<std::uint8_t> serialize_weights(const WeightsH& weights);
+/// Serialise an FP32 parameter set.
+std::vector<std::uint8_t> serialize_weights(const WeightsF& weights);
+
+/// Parse FP16 weights; throws std::runtime_error on malformed input or a
+/// precision mismatch.
+WeightsH deserialize_weights_f16(const std::vector<std::uint8_t>& bytes);
+/// Parse FP32 weights.
+WeightsF deserialize_weights_f32(const std::vector<std::uint8_t>& bytes);
+
+// Stream variants used by the package format (no copy of the section).
+void write_graph(util::BinWriter& w, const Graph& graph);
+Graph read_graph(util::BinReader& r);
+void write_weights(util::BinWriter& w, const WeightsH& weights);
+WeightsH read_weights_f16(util::BinReader& r);
+
+}  // namespace ncsw::nn

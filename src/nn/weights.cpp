@@ -1,0 +1,82 @@
+#include "nn/weights.h"
+
+#include <cmath>
+
+namespace ncsw::nn {
+
+WeightsH to_fp16(const WeightsF& w) {
+  WeightsH out;
+  for (const auto& [name, p] : w) {
+    out[name].w = tensor::tensor_cast<ncsw::fp16::half>(p.w);
+    out[name].b = tensor::tensor_cast<ncsw::fp16::half>(p.b);
+  }
+  return out;
+}
+
+std::pair<tensor::Shape, tensor::Shape> param_shapes(const Graph& graph,
+                                                     int id) {
+  const Layer& l = graph.layer(id);
+  if (l.kind == LayerKind::kConv) {
+    const Shape& in = graph.layer(l.inputs[0]).out_shape;
+    return {Shape{l.conv.out_channels, in.c, l.conv.kernel, l.conv.kernel},
+            Shape{1, l.conv.out_channels, 1, 1}};
+  }
+  if (l.kind == LayerKind::kFC) {
+    const Shape& in = graph.layer(l.inputs[0]).out_shape;
+    return {Shape{l.fc.out_features, in.chw(), 1, 1},
+            Shape{1, l.fc.out_features, 1, 1}};
+  }
+  throw std::logic_error("param_shapes: layer '" + l.name +
+                         "' has no parameters");
+}
+
+WeightsF init_msra(const Graph& graph, std::uint64_t seed) {
+  WeightsF weights;
+  for (int id = 0; id < graph.size(); ++id) {
+    const Layer& l = graph.layer(id);
+    if (!Graph::has_weights(l.kind)) continue;
+    const auto [ws, bs] = param_shapes(graph, id);
+    // Per-layer generator derived from (seed, id) so that adding layers
+    // does not shift the randomness of existing ones.
+    util::Xoshiro256 rng(util::hash_mix(seed, static_cast<std::uint64_t>(id)));
+    const std::int64_t fan_in = ws.c * ws.h * ws.w;
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    tensor::TensorF w(ws);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      w[i] = static_cast<float>(rng.normal(0.0, stddev));
+    }
+    weights[l.name].w = std::move(w);
+    weights[l.name].b = tensor::TensorF(bs);  // zero biases
+  }
+  return weights;
+}
+
+template <typename T>
+void check_weights(const Graph& graph, const Weights<T>& w) {
+  for (int id = 0; id < graph.size(); ++id) {
+    const Layer& l = graph.layer(id);
+    if (!Graph::has_weights(l.kind)) continue;
+    if (!w.contains(l.name)) {
+      throw std::logic_error("check_weights: missing parameters for '" +
+                             l.name + "'");
+    }
+    const auto [ws, bs] = param_shapes(graph, id);
+    const auto& p = w.at(l.name);
+    if (p.w.shape() != ws) {
+      throw std::logic_error("check_weights: '" + l.name + "' weight shape " +
+                             p.w.shape().to_string() + " expected " +
+                             ws.to_string());
+    }
+    if (p.b.shape() != bs) {
+      throw std::logic_error("check_weights: '" + l.name + "' bias shape " +
+                             p.b.shape().to_string() + " expected " +
+                             bs.to_string());
+    }
+  }
+}
+
+template void check_weights<float>(const Graph&, const Weights<float>&);
+template void check_weights<ncsw::fp16::half>(const Graph&,
+                                              const Weights<ncsw::fp16::half>&);
+
+}  // namespace ncsw::nn

@@ -1,0 +1,88 @@
+// Parameter storage for a graph: one (weight, bias) pair per Conv/FC
+// layer, in either precision. FP16 parameter sets are produced by rounding
+// the FP32 master copy — exactly what the NCS graph compiler does when it
+// converts a Caffe model for the Myriad 2.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "nn/graph.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ncsw::nn {
+
+/// Parameters of one layer.
+/// Conv: w is [outC x inC x k x k], b is [1 x outC x 1 x 1].
+/// FC:   w is [outF x inDim x 1 x 1], b is [1 x outF x 1 x 1].
+template <typename T>
+struct LayerParams {
+  tensor::Tensor<T> w;
+  tensor::Tensor<T> b;
+};
+
+/// All parameters of a graph, keyed by layer name.
+template <typename T>
+class Weights {
+ public:
+  /// Access parameters for `name`; throws std::out_of_range when missing.
+  const LayerParams<T>& at(const std::string& name) const {
+    auto it = map_.find(name);
+    if (it == map_.end()) {
+      throw std::out_of_range("Weights: no parameters for layer '" + name +
+                              "'");
+    }
+    return it->second;
+  }
+
+  /// Mutable access, inserting an empty entry if absent.
+  LayerParams<T>& operator[](const std::string& name) { return map_[name]; }
+
+  /// True when parameters exist for `name`.
+  bool contains(const std::string& name) const {
+    return map_.find(name) != map_.end();
+  }
+
+  std::size_t size() const noexcept { return map_.size(); }
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+  /// Total parameter count (weights + biases).
+  std::int64_t param_count() const {
+    std::int64_t total = 0;
+    for (const auto& [name, p] : map_) {
+      total += p.w.numel() + p.b.numel();
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::string, LayerParams<T>> map_;
+};
+
+using WeightsF = Weights<float>;
+using WeightsH = Weights<ncsw::fp16::half>;
+
+/// Round an FP32 parameter set to FP16 (the model-conversion step).
+WeightsH to_fp16(const WeightsF& w);
+
+/// Expected weight/bias shapes for layer `id` of `graph`; throws if the
+/// layer has no parameters.
+std::pair<tensor::Shape, tensor::Shape> param_shapes(const Graph& graph,
+                                                     int id);
+
+/// Initialise every Conv/FC layer with MSRA/He fan-in scaled Gaussian
+/// weights and zero biases, deterministically from `seed`. This is the
+/// stand-in for downloading the pre-trained BVLC caffemodel.
+WeightsF init_msra(const Graph& graph, std::uint64_t seed);
+
+/// Verify `w` provides correctly-shaped parameters for every Conv/FC layer
+/// of `graph`; throws std::logic_error describing the first mismatch.
+template <typename T>
+void check_weights(const Graph& graph, const Weights<T>& w);
+
+}  // namespace ncsw::nn

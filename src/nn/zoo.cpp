@@ -1,0 +1,105 @@
+#include "nn/zoo.h"
+
+#include <stdexcept>
+
+#include "nn/googlenet.h"
+
+namespace ncsw::nn {
+
+Graph build_alexnet() {
+  Graph g("alexnet");
+  const int data = g.add_input("data", 3, 227, 227);
+
+  int x = g.add_conv("conv1", data, ConvParams{96, 11, 4, 0});
+  x = g.add_relu("relu1", x);
+  x = g.add_lrn("norm1", x, LRNParams{5, 1e-4f, 0.75f, 1.0f});
+  x = g.add_max_pool("pool1", x, PoolParams{3, 2, 0, false, false});
+
+  x = g.add_conv("conv2", x, ConvParams{256, 5, 1, 2});
+  x = g.add_relu("relu2", x);
+  x = g.add_lrn("norm2", x, LRNParams{5, 1e-4f, 0.75f, 1.0f});
+  x = g.add_max_pool("pool2", x, PoolParams{3, 2, 0, false, false});
+
+  x = g.add_conv("conv3", x, ConvParams{384, 3, 1, 1});
+  x = g.add_relu("relu3", x);
+  x = g.add_conv("conv4", x, ConvParams{384, 3, 1, 1});
+  x = g.add_relu("relu4", x);
+  x = g.add_conv("conv5", x, ConvParams{256, 3, 1, 1});
+  x = g.add_relu("relu5", x);
+  x = g.add_max_pool("pool5", x, PoolParams{3, 2, 0, false, false});
+
+  x = g.add_fc("fc6", x, FCParams{4096});
+  x = g.add_relu("relu6", x);
+  x = g.add_dropout("drop6", x);
+  x = g.add_fc("fc7", x, FCParams{4096});
+  x = g.add_relu("relu7", x);
+  x = g.add_dropout("drop7", x);
+  x = g.add_fc("fc8", x, FCParams{1000});
+  x = g.add_softmax("prob", x);
+
+  g.validate();
+  return g;
+}
+
+int add_fire_module(Graph& graph, const std::string& prefix, int input,
+                    int squeeze, int expand1, int expand3) {
+  int s = graph.add_conv(prefix + "/squeeze1x1", input,
+                         ConvParams{squeeze, 1, 1, 0});
+  s = graph.add_relu(prefix + "/relu_squeeze1x1", s);
+  int e1 = graph.add_conv(prefix + "/expand1x1", s,
+                          ConvParams{expand1, 1, 1, 0});
+  e1 = graph.add_relu(prefix + "/relu_expand1x1", e1);
+  int e3 = graph.add_conv(prefix + "/expand3x3", s,
+                          ConvParams{expand3, 3, 1, 1});
+  e3 = graph.add_relu(prefix + "/relu_expand3x3", e3);
+  return graph.add_concat(prefix + "/concat", {e1, e3});
+}
+
+Graph build_squeezenet_v11() {
+  Graph g("squeezenet_v1.1");
+  const int data = g.add_input("data", 3, 227, 227);
+
+  int x = g.add_conv("conv1", data, ConvParams{64, 3, 2, 0});
+  x = g.add_relu("relu_conv1", x);
+  x = g.add_max_pool("pool1", x, PoolParams{3, 2, 0, true, false});
+
+  x = add_fire_module(g, "fire2", x, 16, 64, 64);
+  x = add_fire_module(g, "fire3", x, 16, 64, 64);
+  x = g.add_max_pool("pool3", x, PoolParams{3, 2, 0, true, false});
+
+  x = add_fire_module(g, "fire4", x, 32, 128, 128);
+  x = add_fire_module(g, "fire5", x, 32, 128, 128);
+  x = g.add_max_pool("pool5", x, PoolParams{3, 2, 0, true, false});
+
+  x = add_fire_module(g, "fire6", x, 48, 192, 192);
+  x = add_fire_module(g, "fire7", x, 48, 192, 192);
+  x = add_fire_module(g, "fire8", x, 64, 256, 256);
+  x = add_fire_module(g, "fire9", x, 64, 256, 256);
+
+  x = g.add_dropout("drop9", x);
+  x = g.add_conv("conv10", x, ConvParams{1000, 1, 1, 0});
+  x = g.add_relu("relu_conv10", x);
+  PoolParams global_avg;
+  global_avg.global = true;
+  x = g.add_avg_pool("pool10", x, global_avg);
+  x = g.add_softmax("prob", x);
+
+  g.validate();
+  return g;
+}
+
+Graph build_named_network(const std::string& name) {
+  if (name == "googlenet") return build_googlenet();
+  if (name == "alexnet") return build_alexnet();
+  if (name == "squeezenet") return build_squeezenet_v11();
+  if (name == "tiny") return build_tiny_googlenet();
+  throw std::invalid_argument("build_named_network: unknown network '" +
+                              name + "' (try: googlenet, alexnet, "
+                              "squeezenet, tiny)");
+}
+
+std::vector<std::string> network_zoo_names() {
+  return {"googlenet", "alexnet", "squeezenet", "tiny"};
+}
+
+}  // namespace ncsw::nn

@@ -1,0 +1,36 @@
+// Network zoo: the classic ImageNet CNNs the NCSDK toolchain shipped
+// examples for, built with the same graph API as GoogLeNet. The paper's
+// evaluation is GoogLeNet-only; these power the cross-network extension
+// bench (its ref. [37], Pena et al., benchmarks several CNNs on the same
+// stick) and exercise the compiler/simulator on different layer mixes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace ncsw::nn {
+
+/// AlexNet (Krizhevsky et al., 2012), single-column variant: 227x227x3
+/// input, 5 conv + 3 FC layers, LRN after conv1/conv2, 1000 classes.
+Graph build_alexnet();
+
+/// SqueezeNet v1.1 (Iandola et al., 2016): 227x227x3 input, fire modules
+/// (1x1 squeeze -> 1x1 + 3x3 expand, concatenated), fully convolutional
+/// classifier, 1000 classes. ~50x fewer parameters than AlexNet.
+Graph build_squeezenet_v11();
+
+/// Append a SqueezeNet fire module; returns the concat layer id.
+int add_fire_module(Graph& graph, const std::string& prefix, int input,
+                    int squeeze, int expand1, int expand3);
+
+/// Build a network by name: "googlenet", "alexnet", "squeezenet",
+/// "tiny" (the functional TinyGoogLeNet). Throws std::invalid_argument
+/// for unknown names.
+Graph build_named_network(const std::string& name);
+
+/// Names accepted by build_named_network.
+std::vector<std::string> network_zoo_names();
+
+}  // namespace ncsw::nn

@@ -1,0 +1,148 @@
+#include "sipp/filters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncsw::sipp {
+
+namespace {
+int clamp_coord(int v, int lo, int hi) noexcept {
+  return std::min(std::max(v, lo), hi);
+}
+}  // namespace
+
+Plane to_luma(const imgproc::Image& image) {
+  if (image.empty()) throw std::invalid_argument("to_luma: empty image");
+  Plane out(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      out.at(x, y) = 0.299f * image.at(x, y, 0) +
+                     0.587f * image.at(x, y, 1) +
+                     0.114f * image.at(x, y, 2);
+    }
+  }
+  return out;
+}
+
+Plane tone_map(const Plane& in, float gamma) {
+  if (gamma <= 0) throw std::invalid_argument("tone_map: gamma <= 0");
+  Plane out(in.width, in.height);
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    const float v = std::clamp(in.data[i] / 255.0f, 0.0f, 1.0f);
+    out.data[i] = 255.0f * std::pow(v, gamma);
+  }
+  return out;
+}
+
+Plane denoise5x5(const Plane& in) {
+  static const float kKernel[5] = {1, 4, 6, 4, 1};
+  Plane out(in.width, in.height);
+  for (int y = 0; y < in.height; ++y) {
+    for (int x = 0; x < in.width; ++x) {
+      float acc = 0.0f;
+      for (int ky = -2; ky <= 2; ++ky) {
+        for (int kx = -2; kx <= 2; ++kx) {
+          const int sx = clamp_coord(x + kx, 0, in.width - 1);
+          const int sy = clamp_coord(y + ky, 0, in.height - 1);
+          acc += kKernel[ky + 2] * kKernel[kx + 2] * in.at(sx, sy);
+        }
+      }
+      out.at(x, y) = acc / 256.0f;
+    }
+  }
+  return out;
+}
+
+namespace {
+void sobel_gradients(const Plane& in, Plane& gx, Plane& gy) {
+  gx = Plane(in.width, in.height);
+  gy = Plane(in.width, in.height);
+  for (int y = 0; y < in.height; ++y) {
+    for (int x = 0; x < in.width; ++x) {
+      auto px = [&](int dx, int dy) {
+        return in.at(clamp_coord(x + dx, 0, in.width - 1),
+                     clamp_coord(y + dy, 0, in.height - 1));
+      };
+      gx.at(x, y) = (px(1, -1) + 2 * px(1, 0) + px(1, 1)) -
+                    (px(-1, -1) + 2 * px(-1, 0) + px(-1, 1));
+      gy.at(x, y) = (px(-1, 1) + 2 * px(0, 1) + px(1, 1)) -
+                    (px(-1, -1) + 2 * px(0, -1) + px(1, -1));
+    }
+  }
+}
+}  // namespace
+
+Plane sobel_magnitude(const Plane& in) {
+  Plane gx, gy;
+  sobel_gradients(in, gx, gy);
+  Plane out(in.width, in.height);
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    out.data[i] = std::sqrt(gx.data[i] * gx.data[i] +
+                            gy.data[i] * gy.data[i]);
+  }
+  return out;
+}
+
+Plane harris_response(const Plane& in, float k) {
+  Plane gx, gy;
+  sobel_gradients(in, gx, gy);
+  Plane out(in.width, in.height);
+  for (int y = 0; y < in.height; ++y) {
+    for (int x = 0; x < in.width; ++x) {
+      double sxx = 0, syy = 0, sxy = 0;
+      for (int wy = -2; wy <= 2; ++wy) {
+        for (int wx = -2; wx <= 2; ++wx) {
+          const int px = clamp_coord(x + wx, 0, in.width - 1);
+          const int py = clamp_coord(y + wy, 0, in.height - 1);
+          const double ix = gx.at(px, py);
+          const double iy = gy.at(px, py);
+          sxx += ix * ix;
+          syy += iy * iy;
+          sxy += ix * iy;
+        }
+      }
+      const double det = sxx * syy - sxy * sxy;
+      const double trace = sxx + syy;
+      out.at(x, y) = static_cast<float>(det - k * trace * trace);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> corner_peaks(const Plane& response,
+                                              float threshold) {
+  std::vector<std::pair<int, int>> peaks;
+  for (int y = 1; y + 1 < response.height; ++y) {
+    for (int x = 1; x + 1 < response.width; ++x) {
+      const float v = response.at(x, y);
+      if (v < threshold) continue;
+      bool is_max = true;
+      for (int dy = -1; dy <= 1 && is_max; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (response.at(x + dx, y + dy) > v) {
+            is_max = false;
+            break;
+          }
+        }
+      }
+      if (is_max) peaks.emplace_back(x, y);
+    }
+  }
+  return peaks;
+}
+
+imgproc::Image to_image(const Plane& plane) {
+  imgproc::Image out(plane.width, plane.height);
+  for (int y = 0; y < plane.height; ++y) {
+    for (int x = 0; x < plane.width; ++x) {
+      const auto v = static_cast<std::uint8_t>(
+          std::clamp(plane.at(x, y) + 0.5f, 0.0f, 255.0f));
+      for (int c = 0; c < 3; ++c) out.at(x, y, c) = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace ncsw::sipp

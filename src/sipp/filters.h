@@ -1,0 +1,57 @@
+// Functional implementations of the SIPP hardware filter kernels the
+// paper names (Section II-A): tone mapping, 5x5 denoise, edge/gradient
+// operators and the Harris corner detector. These compute real results;
+// sipp/pipeline.h prices the same work on the hardware-accelerated
+// filter units.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imgproc/image.h"
+
+namespace ncsw::sipp {
+
+/// Single-channel float plane (row-major), the inter-filter format of the
+/// pipeline.
+struct Plane {
+  int width = 0;
+  int height = 0;
+  std::vector<float> data;
+
+  Plane() = default;
+  Plane(int w, int h) : width(w), height(h), data(static_cast<std::size_t>(w) * h, 0.0f) {}
+  float at(int x, int y) const noexcept {
+    return data[static_cast<std::size_t>(y) * width + x];
+  }
+  float& at(int x, int y) noexcept {
+    return data[static_cast<std::size_t>(y) * width + x];
+  }
+};
+
+/// BT.601 luminance plane from an RGB image (values 0..255).
+Plane to_luma(const imgproc::Image& image);
+
+/// Tone mapping: out = 255 * (in/255)^gamma, per pixel (LUT in hardware).
+Plane tone_map(const Plane& in, float gamma);
+
+/// 5x5 Gaussian denoise (the "luminance denoising" kernel); borders are
+/// clamped. Kernel is the binomial [1 4 6 4 1] outer product / 256.
+Plane denoise5x5(const Plane& in);
+
+/// Sobel gradient magnitude (the HoG edge-operator front end).
+Plane sobel_magnitude(const Plane& in);
+
+/// Harris corner response: det(M) - k*trace(M)^2 over a 5x5 window of
+/// Sobel gradients. k is the usual 0.04-0.06.
+Plane harris_response(const Plane& in, float k = 0.04f);
+
+/// Local maxima of a response plane above `threshold`, as (x, y) pairs,
+/// scanning row-major.
+std::vector<std::pair<int, int>> corner_peaks(const Plane& response,
+                                              float threshold);
+
+/// Clamp a plane back to an 8-bit grayscale image (replicated channels).
+imgproc::Image to_image(const Plane& plane);
+
+}  // namespace ncsw::sipp

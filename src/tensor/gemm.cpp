@@ -1,0 +1,88 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ncsw::tensor {
+
+namespace {
+// Cache-blocking tile sizes chosen for small L1/L2; correctness does not
+// depend on them.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 128;
+constexpr std::int64_t kBlockK = 256;
+}  // namespace
+
+void gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) noexcept {
+  // Scale / clear C first so the blocked accumulation below can always add.
+  if (beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k0 + kBlockK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t j1 = std::min(j0 + kBlockN, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          const float* arow = a + i * k;
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float av = alpha * arow[kk];
+            if (av == 0.0f) continue;
+            const float* brow = b + kk * n;
+            for (std::int64_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_f16(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const ncsw::fp16::half* a, const ncsw::fp16::half* b, float beta,
+              ncsw::fp16::half* c) noexcept {
+  // Accumulate each output row in FP32 scratch, then round once — this is
+  // the numerically honest model of an FP16 MAC pipeline with a wide
+  // accumulator.
+  std::vector<float> acc(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    if (beta == 0.0f) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc[static_cast<std::size_t>(j)] =
+            beta * static_cast<float>(c[i * n + j]);
+      }
+    }
+    const ncsw::fp16::half* arow = a + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * static_cast<float>(arow[kk]);
+      if (av == 0.0f) continue;
+      const ncsw::fp16::half* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc[static_cast<std::size_t>(j)] += av * static_cast<float>(brow[j]);
+      }
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      c[i * n + j] = ncsw::fp16::half(acc[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+void gemv_f32(std::int64_t m, std::int64_t k, const float* a, const float* x,
+              float beta, float* y) noexcept {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float acc = beta == 0.0f ? 0.0f : beta * y[i];
+    const float* arow = a + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * x[kk];
+    y[i] = acc;
+  }
+}
+
+}  // namespace ncsw::tensor

@@ -1,0 +1,28 @@
+// Small blocked GEMM used by the im2col convolution and fully-connected
+// layers. Row-major: C[M x N] = A[M x K] * B[K x N] (+ C when beta = 1).
+//
+// The FP16 variant stores operands in binary16 but accumulates in FP32,
+// which is how the SHAVE VAU executes FP16 dot products (and how every
+// practical FP16 GEMM behaves); the result is rounded to FP16 per element.
+#pragma once
+
+#include <cstdint>
+
+#include "half/half.h"
+
+namespace ncsw::tensor {
+
+/// FP32 GEMM: C = alpha * A*B + beta * C. Arrays are row-major and dense.
+void gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) noexcept;
+
+/// FP16 GEMM with FP32 accumulation; output rounded to FP16.
+void gemm_f16(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const ncsw::fp16::half* a, const ncsw::fp16::half* b, float beta,
+              ncsw::fp16::half* c) noexcept;
+
+/// Matrix-vector product y = A * x (+ y when beta = 1); row-major A[M x K].
+void gemv_f32(std::int64_t m, std::int64_t k, const float* a, const float* x,
+              float beta, float* y) noexcept;
+
+}  // namespace ncsw::tensor

@@ -1,0 +1,69 @@
+// 4-D NCHW tensor shape used across the NN engine and the graph compiler.
+// Everything in GoogLeNet (and in Caffe blobs, which this mirrors) is 4-D:
+// fully-connected activations are N x C x 1 x 1.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ncsw::tensor {
+
+/// Dense NCHW shape. All dimensions must be >= 1.
+struct Shape {
+  std::int64_t n = 1;  ///< batch
+  std::int64_t c = 1;  ///< channels
+  std::int64_t h = 1;  ///< height
+  std::int64_t w = 1;  ///< width
+
+  constexpr Shape() = default;
+  constexpr Shape(std::int64_t n_, std::int64_t c_, std::int64_t h_,
+                  std::int64_t w_)
+      : n(n_), c(c_), h(h_), w(w_) {}
+
+  /// Total number of elements.
+  constexpr std::int64_t numel() const noexcept { return n * c * h * w; }
+  /// Elements per batch item.
+  constexpr std::int64_t chw() const noexcept { return c * h * w; }
+  /// Spatial elements per channel.
+  constexpr std::int64_t hw() const noexcept { return h * w; }
+
+  /// Linear offset of element (in_, ic, ih, iw); no bounds checking.
+  constexpr std::int64_t offset(std::int64_t in_, std::int64_t ic,
+                                std::int64_t ih, std::int64_t iw) const noexcept {
+    return ((in_ * c + ic) * h + ih) * w + iw;
+  }
+
+  constexpr bool operator==(const Shape& o) const noexcept {
+    return n == o.n && c == o.c && h == o.h && w == o.w;
+  }
+  constexpr bool operator!=(const Shape& o) const noexcept {
+    return !(*this == o);
+  }
+
+  /// True when every dimension is >= 1.
+  constexpr bool valid() const noexcept {
+    return n >= 1 && c >= 1 && h >= 1 && w >= 1;
+  }
+
+  /// "1x64x112x112" rendering for diagnostics.
+  std::string to_string() const {
+    return std::to_string(n) + "x" + std::to_string(c) + "x" +
+           std::to_string(h) + "x" + std::to_string(w);
+  }
+
+  /// Same shape with a different batch dimension.
+  constexpr Shape with_batch(std::int64_t batch) const noexcept {
+    return Shape{batch, c, h, w};
+  }
+};
+
+/// Throw std::invalid_argument when the shape is degenerate.
+inline void check_shape(const Shape& s, const char* context) {
+  if (!s.valid()) {
+    throw std::invalid_argument(std::string(context) +
+                                ": invalid shape " + s.to_string());
+  }
+}
+
+}  // namespace ncsw::tensor

@@ -1,0 +1,108 @@
+// Little-endian binary writer/reader shared by every on-disk format in
+// the repository (compiled graph files, network structures, weights).
+// The Reader validates lengths and never reads past the buffer; all
+// format errors surface as std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ncsw::util {
+
+/// Append-only byte sink.
+class BinWriter {
+ public:
+  /// Write a trivially-copyable value verbatim.
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  /// Write a length-prefixed string (u32 length).
+  void put_string(const std::string& s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  /// Write a raw byte range (caller handles any length prefix).
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  /// Write a length-prefixed byte blob (u64 length).
+  void put_blob(const std::vector<std::uint8_t>& blob) {
+    put(static_cast<std::uint64_t>(blob.size()));
+    bytes_.insert(bytes_.end(), blob.begin(), blob.end());
+  }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked byte source.
+class BinReader {
+ public:
+  explicit BinReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes.data()), size_(bytes.size()) {}
+  BinReader(const std::uint8_t* bytes, std::size_t size)
+      : bytes_(bytes), size_(size) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string(std::uint32_t max_len = 1u << 20) {
+    const auto len = get<std::uint32_t>();
+    if (len > max_len) throw std::runtime_error("binio: string too long");
+    require(len);
+    std::string s(reinterpret_cast<const char*>(bytes_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<std::uint8_t> get_blob(std::uint64_t max_len = 1ull << 32) {
+    const auto len = get<std::uint64_t>();
+    if (len > max_len) throw std::runtime_error("binio: blob too long");
+    require(static_cast<std::size_t>(len));
+    std::vector<std::uint8_t> blob(bytes_ + pos_, bytes_ + pos_ + len);
+    pos_ += static_cast<std::size_t>(len);
+    return blob;
+  }
+
+  /// Copy `size` raw bytes into `out`.
+  void get_bytes(void* out, std::size_t size) {
+    require(size);
+    std::memcpy(out, bytes_ + pos_, size);
+    pos_ += size;
+  }
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > size_) throw std::runtime_error("binio: truncated input");
+  }
+
+  const std::uint8_t* bytes_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ncsw::util

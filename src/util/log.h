@@ -1,0 +1,51 @@
+// Leveled logging with a process-wide threshold. Kept deliberately small:
+// benches print results through util::Table; logging is for diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ncsw::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+/// Current threshold (default: kWarn, so library code is quiet).
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr with a level prefix (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ncsw::util
+
+#define NCSW_LOG(level)                                               \
+  if (static_cast<int>(level) < static_cast<int>(ncsw::util::log_level())) \
+    ;                                                                 \
+  else                                                                \
+    ncsw::util::detail::LogLine(level)
+
+#define NCSW_LOG_DEBUG NCSW_LOG(ncsw::util::LogLevel::kDebug)
+#define NCSW_LOG_INFO NCSW_LOG(ncsw::util::LogLevel::kInfo)
+#define NCSW_LOG_WARN NCSW_LOG(ncsw::util::LogLevel::kWarn)
+#define NCSW_LOG_ERROR NCSW_LOG(ncsw::util::LogLevel::kError)

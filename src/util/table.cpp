@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ncsw::util {
+
+void Table::set_header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pm(double mean, double sd, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, mean, precision,
+                sd);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+namespace {
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_quote(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  f << content;
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace ncsw::util

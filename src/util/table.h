@@ -1,0 +1,49 @@
+// Aligned console tables and CSV emission. Every benchmark harness prints
+// its figure/table through this so the output format is uniform and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ncsw::util {
+
+/// A simple column-aligned table with an optional title. Cells are
+/// strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row (column names).
+  void set_header(std::vector<std::string> names);
+
+  /// Append a row of pre-formatted cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  /// Format "mean ± sd".
+  static std::string pm(double mean, double sd, int precision = 2);
+
+  /// Number of data rows.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  std::string to_string() const;
+  /// Render as CSV (header + rows, RFC-4180 quoting).
+  std::string to_csv() const;
+
+  /// Print the ASCII rendering to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write `content` to `path`; throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace ncsw::util

@@ -1,0 +1,183 @@
+#include "graphc/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/googlenet.h"
+
+namespace {
+
+using namespace ncsw::graphc;
+using ncsw::nn::ConvParams;
+using ncsw::nn::FCParams;
+using ncsw::nn::Graph;
+using ncsw::nn::PoolParams;
+
+Graph small_graph() {
+  Graph g("probe");
+  const int in = g.add_input("data", 3, 16, 16);
+  const int c = g.add_conv("conv", in, ConvParams{8, 3, 1, 1});
+  const int r = g.add_relu("relu", c);
+  const int p = g.add_max_pool("pool", r, PoolParams{2, 2, 0, true, false});
+  const int fc = g.add_fc("fc", p, FCParams{10});
+  g.add_softmax("prob", fc);
+  return g;
+}
+
+TEST(Compiler, PrecisionBytes) {
+  EXPECT_EQ(bytes_per_scalar(Precision::kFP16), 2);
+  EXPECT_EQ(bytes_per_scalar(Precision::kFP32), 4);
+  EXPECT_STREQ(precision_name(Precision::kFP16), "FP16");
+  EXPECT_STREQ(precision_name(Precision::kFP32), "FP32");
+}
+
+TEST(Compiler, ConvCostAccounting) {
+  const Graph g = small_graph();
+  const CompiledGraph c = compile(g, Precision::kFP16);
+  ASSERT_EQ(c.layers.size(), static_cast<std::size_t>(g.size()));
+  const auto& conv = c.layers[1];
+  EXPECT_EQ(conv.name, "conv");
+  // out 8x16x16 = 2048 elements x (3*3*3 = 27) MACs.
+  EXPECT_EQ(conv.macs, 2048 * 27);
+  // in 3*16*16 fp16 bytes; out 8*16*16 fp16 bytes.
+  EXPECT_EQ(conv.in_bytes, 3 * 16 * 16 * 2);
+  EXPECT_EQ(conv.out_bytes, 8 * 16 * 16 * 2);
+  // weights (8*3*3*3 + 8) halves.
+  EXPECT_EQ(conv.weight_bytes, (8 * 3 * 3 * 3 + 8) * 2);
+}
+
+TEST(Compiler, Fp32DoublesBytesButNotMacs) {
+  const Graph g = small_graph();
+  const CompiledGraph h = compile(g, Precision::kFP16);
+  const CompiledGraph f = compile(g, Precision::kFP32);
+  EXPECT_EQ(h.total_macs(), f.total_macs());
+  EXPECT_EQ(2 * h.total_weight_bytes(), f.total_weight_bytes());
+  EXPECT_EQ(2 * h.input_bytes(), f.input_bytes());
+}
+
+TEST(Compiler, TilesScaleWithWork) {
+  const Graph g = ncsw::nn::build_googlenet();
+  CompileOptions opts;
+  opts.macs_per_tile = 200'000;
+  const CompiledGraph c = compile(g, Precision::kFP16, opts);
+  std::int64_t tiles = 0;
+  for (const auto& l : c.layers) {
+    EXPECT_GE(l.tiles, 1);
+    tiles += l.tiles;
+  }
+  // ~1.6e9 MACs / 200k => roughly 8000 tiles.
+  EXPECT_GT(tiles, 6000);
+  EXPECT_LT(tiles, 12000);
+}
+
+TEST(Compiler, TileSizeOptionRespected) {
+  const Graph g = small_graph();
+  CompileOptions coarse;
+  coarse.macs_per_tile = 1'000'000'000;
+  CompileOptions fine;
+  fine.macs_per_tile = 1000;
+  const auto c1 = compile(g, Precision::kFP16, coarse);
+  const auto c2 = compile(g, Precision::kFP16, fine);
+  EXPECT_EQ(c1.layers[1].tiles, 1);
+  EXPECT_EQ(c2.layers[1].tiles, (2048 * 27 + 999) / 1000);
+}
+
+TEST(Compiler, CmxResidencyFlag) {
+  const Graph g = ncsw::nn::build_googlenet();
+  const CompiledGraph c = compile(g, Precision::kFP16);
+  // The 1000-way classifier weights (2 MB in FP16) exceed the CMX budget.
+  bool fc_spills = false;
+  for (const auto& l : c.layers) {
+    if (l.kind == ncsw::nn::LayerKind::kFC) fc_spills = !l.fits_cmx;
+  }
+  EXPECT_TRUE(fc_spills);
+  // Early conv layers fit.
+  EXPECT_TRUE(c.layers[1].fits_cmx);
+}
+
+TEST(Compiler, HeaderFields) {
+  const Graph g = small_graph();
+  const CompiledGraph c = compile(g, Precision::kFP16);
+  EXPECT_EQ(c.net_name, "probe");
+  EXPECT_EQ(c.input_shape, (ncsw::tensor::Shape{1, 3, 16, 16}));
+  EXPECT_EQ(c.num_outputs, 10);
+  EXPECT_EQ(c.output_bytes(), 20);
+}
+
+TEST(Compiler, RejectsBadOptions) {
+  const Graph g = small_graph();
+  CompileOptions opts;
+  opts.macs_per_tile = 0;
+  EXPECT_THROW(compile(g, Precision::kFP16, opts), std::logic_error);
+}
+
+TEST(Serialization, RoundTripPreservesEverything) {
+  const Graph g = ncsw::nn::build_googlenet();
+  const CompiledGraph c = compile(g, Precision::kFP16);
+  const auto bytes = serialize(c);
+  const CompiledGraph d = deserialize(bytes);
+  EXPECT_EQ(d.net_name, c.net_name);
+  EXPECT_EQ(d.precision, c.precision);
+  EXPECT_EQ(d.input_shape, c.input_shape);
+  EXPECT_EQ(d.num_outputs, c.num_outputs);
+  ASSERT_EQ(d.layers.size(), c.layers.size());
+  for (std::size_t i = 0; i < c.layers.size(); ++i) {
+    EXPECT_EQ(d.layers[i].name, c.layers[i].name);
+    EXPECT_EQ(d.layers[i].kind, c.layers[i].kind);
+    EXPECT_EQ(d.layers[i].macs, c.layers[i].macs);
+    EXPECT_EQ(d.layers[i].in_bytes, c.layers[i].in_bytes);
+    EXPECT_EQ(d.layers[i].out_bytes, c.layers[i].out_bytes);
+    EXPECT_EQ(d.layers[i].weight_bytes, c.layers[i].weight_bytes);
+    EXPECT_EQ(d.layers[i].tiles, c.layers[i].tiles);
+    EXPECT_EQ(d.layers[i].fits_cmx, c.layers[i].fits_cmx);
+    EXPECT_EQ(d.layers[i].in_shape, c.layers[i].in_shape);
+    EXPECT_EQ(d.layers[i].out_shape, c.layers[i].out_shape);
+  }
+  EXPECT_EQ(d.total_macs(), c.total_macs());
+}
+
+TEST(Serialization, RejectsBadMagic) {
+  auto bytes = serialize(compile(small_graph(), Precision::kFP16));
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncation) {
+  const auto bytes = serialize(compile(small_graph(), Precision::kFP16));
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2, std::size_t{5}}) {
+    std::vector<std::uint8_t> trunc(bytes.begin(),
+                                    bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(deserialize(trunc), std::runtime_error) << cut;
+  }
+}
+
+TEST(Serialization, RejectsTrailingGarbage) {
+  auto bytes = serialize(compile(small_graph(), Precision::kFP16));
+  bytes.push_back(0);
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Serialization, RejectsBadVersion) {
+  auto bytes = serialize(compile(small_graph(), Precision::kFP16));
+  bytes[4] = 99;
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Serialization, RejectsEmptyInput) {
+  EXPECT_THROW(deserialize({}), std::runtime_error);
+}
+
+TEST(CompiledGraph, AggregateHelpers) {
+  const CompiledGraph c = compile(small_graph(), Precision::kFP16);
+  std::int64_t macs = 0, wbytes = 0, abytes = 0;
+  for (const auto& l : c.layers) {
+    macs += l.macs;
+    wbytes += l.weight_bytes;
+    abytes += l.in_bytes + l.out_bytes;
+  }
+  EXPECT_EQ(c.total_macs(), macs);
+  EXPECT_EQ(c.total_weight_bytes(), wbytes);
+  EXPECT_EQ(c.total_activation_bytes(), abytes);
+  EXPECT_EQ(c.input_bytes(), 3 * 16 * 16 * 2);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+#include "dataset/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace {
+
+using namespace ncsw::dataset;
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.num_classes = 10;
+  cfg.image_size = 24;
+  cfg.subsets = 3;
+  cfg.images_per_subset = 50;
+  return cfg;
+}
+
+TEST(Dataset, RejectsBadConfigs) {
+  DatasetConfig cfg = small_config();
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticImageNet{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.image_size = 4;
+  EXPECT_THROW(SyntheticImageNet{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.blend.noise_sigma = -1;
+  EXPECT_THROW(SyntheticImageNet{cfg}, std::invalid_argument);
+}
+
+TEST(Dataset, SamplesAreDeterministic) {
+  const SyntheticImageNet a(small_config());
+  const SyntheticImageNet b(small_config());
+  const auto s1 = a.sample(1, 7);
+  const auto s2 = b.sample(1, 7);
+  EXPECT_EQ(s1.label, s2.label);
+  EXPECT_EQ(s1.distractor, s2.distractor);
+  EXPECT_EQ(s1.image.pixels(), s2.image.pixels());
+}
+
+TEST(Dataset, DifferentSeedsProduceDifferentData) {
+  DatasetConfig cfg2 = small_config();
+  cfg2.seed = 999;
+  const SyntheticImageNet a(small_config());
+  const SyntheticImageNet b(cfg2);
+  EXPECT_NE(a.sample(0, 0).image.pixels(), b.sample(0, 0).image.pixels());
+}
+
+TEST(Dataset, LabelOfMatchesSample) {
+  const SyntheticImageNet data(small_config());
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(data.label_of(s, i), data.sample(s, i).label);
+    }
+  }
+}
+
+TEST(Dataset, LabelsInRangeAndDistractorDiffers) {
+  const SyntheticImageNet data(small_config());
+  for (int i = 0; i < 50; ++i) {
+    const auto s = data.sample(0, i);
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 10);
+    EXPECT_GE(s.distractor, 0);
+    EXPECT_LT(s.distractor, 10);
+    EXPECT_NE(s.label, s.distractor);
+  }
+}
+
+TEST(Dataset, LabelsRoughlyUniform) {
+  DatasetConfig cfg = small_config();
+  cfg.images_per_subset = 2000;
+  const SyntheticImageNet data(cfg);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 2000; ++i) ++counts[data.label_of(0, i)];
+  for (int c : counts) {
+    EXPECT_GT(c, 120);
+    EXPECT_LT(c, 280);
+  }
+}
+
+TEST(Dataset, OutOfRangeCoordinatesThrow) {
+  const SyntheticImageNet data(small_config());
+  EXPECT_THROW(data.sample(3, 0), std::out_of_range);
+  EXPECT_THROW(data.sample(-1, 0), std::out_of_range);
+  EXPECT_THROW(data.sample(0, 50), std::out_of_range);
+  EXPECT_THROW(data.label_of(0, -1), std::out_of_range);
+  EXPECT_THROW(data.prototype(10), std::out_of_range);
+  EXPECT_THROW(data.prototype(-1), std::out_of_range);
+}
+
+TEST(Dataset, PrototypesAreDistinctAcrossClasses) {
+  const SyntheticImageNet data(small_config());
+  std::set<std::string> seen;
+  for (int c = 0; c < 10; ++c) {
+    const ncsw::imgproc::Image proto = data.prototype(c);
+    std::string key(proto.pixels().begin(), proto.pixels().end());
+    EXPECT_TRUE(seen.insert(std::move(key)).second);
+  }
+}
+
+TEST(Dataset, PrototypeIsSmoothAroundMidGrey) {
+  const SyntheticImageNet data(small_config());
+  const auto img = data.prototype(0);
+  double sum = 0;
+  for (auto p : img.pixels()) sum += p;
+  const double mean = sum / static_cast<double>(img.byte_size());
+  EXPECT_NEAR(mean, 127.5, 25.0);
+}
+
+TEST(Dataset, SampleCorrelatesWithItsPrototype) {
+  // The blended image must be closer to its label's prototype than to an
+  // unrelated class's prototype on average.
+  const SyntheticImageNet data(small_config());
+  int closer = 0, total = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto s = data.sample(0, i);
+    int other = (s.label + 5) % 10;
+    if (other == s.distractor) other = (other + 1) % 10;
+    if (other == s.label) continue;
+    const double d_label = ncsw::imgproc::mean_abs_pixel_diff(
+        s.image, data.prototype(s.label));
+    const double d_other = ncsw::imgproc::mean_abs_pixel_diff(
+        s.image, data.prototype(other));
+    closer += d_label < d_other ? 1 : 0;
+    ++total;
+  }
+  EXPECT_GT(closer, total * 7 / 10);
+}
+
+TEST(Dataset, PreprocessShapesAndMeans) {
+  const SyntheticImageNet data(small_config());
+  const auto t = data.preprocess(data.prototype(0), 16);
+  EXPECT_EQ(t.shape(), (ncsw::tensor::Shape{1, 3, 16, 16}));
+  // Mean subtraction centres values near zero.
+  double sum = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) sum += t[i];
+  EXPECT_NEAR(sum / static_cast<double>(t.numel()), 0.0, 30.0);
+}
+
+TEST(Dataset, PrototypeTensorsOnePerClass) {
+  const SyntheticImageNet data(small_config());
+  const auto protos = data.prototype_tensors(16);
+  ASSERT_EQ(protos.size(), 10u);
+  for (const auto& p : protos) {
+    EXPECT_EQ(p.shape(), (ncsw::tensor::Shape{1, 3, 16, 16}));
+  }
+}
+
+TEST(Dataset, SubsetNamesMatchPaper) {
+  EXPECT_EQ(subset_name(0), "Set-1");
+  EXPECT_EQ(subset_name(4), "Set-5");
+}
+
+TEST(Dataset, DefaultConfigMatchesPaperLayout) {
+  const DatasetConfig cfg;
+  EXPECT_EQ(cfg.subsets, 5);
+  EXPECT_EQ(cfg.images_per_subset, 10000);  // 50k images total
+}
+
+TEST(Dataset, MidGreyMeans) {
+  const SyntheticImageNet data(small_config());
+  const auto m = data.means();
+  EXPECT_FLOAT_EQ(m.r, 127.5f);
+  EXPECT_FLOAT_EQ(m.g, 127.5f);
+  EXPECT_FLOAT_EQ(m.b, 127.5f);
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+#include "nn/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace ncsw::nn;
+using ncsw::fp16::half;
+using ncsw::tensor::Shape;
+using ncsw::tensor::TensorF;
+
+Graph small_graph() {
+  Graph g("small");
+  const int in = g.add_input("data", 3, 8, 8);
+  const int c1 = g.add_conv("conv1", in, ConvParams{4, 3, 1, 1});
+  const int r1 = g.add_relu("relu1", c1);
+  const int p1 = g.add_max_pool("pool1", r1, PoolParams{2, 2, 0, true, false});
+  const int c2a = g.add_conv("conv2a", p1, ConvParams{2, 1, 1, 0});
+  const int c2b = g.add_conv("conv2b", p1, ConvParams{3, 3, 1, 1});
+  const int cat = g.add_concat("concat", {c2a, c2b});
+  PoolParams gp;
+  gp.global = true;
+  const int pool = g.add_avg_pool("gap", cat, gp);
+  const int drop = g.add_dropout("drop", pool);
+  const int fc = g.add_fc("fc", drop, FCParams{6});
+  g.add_softmax("prob", fc);
+  return g;
+}
+
+TensorF random_input(const Shape& s, std::uint64_t seed) {
+  ncsw::util::Xoshiro256 rng(seed);
+  TensorF t(s);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(Executor, ForwardShapesAndSoftmaxOutput) {
+  const Graph g = small_graph();
+  const WeightsF w = init_msra(g, 1);
+  const TensorF in = random_input(Shape{2, 3, 8, 8}, 2);
+  const auto result = run_forward(g, w, in);
+  ASSERT_EQ(result.output.shape(), (Shape{2, 6, 1, 1}));
+  for (std::int64_t b = 0; b < 2; ++b) {
+    double sum = 0;
+    for (int c = 0; c < 6; ++c) sum += result.output.at(b, c, 0, 0);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Executor, RejectsWrongInputShape) {
+  const Graph g = small_graph();
+  const WeightsF w = init_msra(g, 1);
+  EXPECT_THROW(run_forward(g, w, TensorF(Shape{1, 3, 9, 8})),
+               std::invalid_argument);
+  EXPECT_THROW(run_forward(g, w, TensorF(Shape{1, 4, 8, 8})),
+               std::invalid_argument);
+}
+
+TEST(Executor, RejectsMissingWeights) {
+  const Graph g = small_graph();
+  WeightsF w = init_msra(g, 1);
+  WeightsF incomplete;
+  incomplete["conv1"] = w.at("conv1");
+  EXPECT_THROW(run_forward(g, incomplete, TensorF(Shape{1, 3, 8, 8})),
+               std::logic_error);
+}
+
+TEST(Executor, RejectsWrongWeightShape) {
+  const Graph g = small_graph();
+  WeightsF w = init_msra(g, 1);
+  w["conv1"].w = TensorF(Shape{4, 3, 5, 5});
+  EXPECT_THROW(run_forward(g, w, TensorF(Shape{1, 3, 8, 8})),
+               std::logic_error);
+}
+
+TEST(Executor, KeepAllActivationsExposesEveryLayer) {
+  const Graph g = small_graph();
+  const WeightsF w = init_msra(g, 3);
+  ExecOptions opts;
+  opts.keep_all_activations = true;
+  const auto result = run_forward(g, w, random_input(Shape{1, 3, 8, 8}, 4),
+                                  opts);
+  ASSERT_EQ(result.activations.size(), static_cast<std::size_t>(g.size()));
+  for (int id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(result.activations[id].shape(),
+              g.layer(id).out_shape.with_batch(1))
+        << g.layer(id).name;
+  }
+}
+
+TEST(Executor, DropoutIsIdentityAtInference) {
+  Graph g;
+  const int in = g.add_input("data", 2, 2, 2);
+  g.add_dropout("drop", in);
+  const TensorF input = random_input(Shape{1, 2, 2, 2}, 5);
+  const auto result = run_forward(g, WeightsF{}, input);
+  EXPECT_EQ(ncsw::tensor::max_abs_diff(result.output, input), 0.0);
+}
+
+TEST(Executor, DeterministicAcrossRuns) {
+  const Graph g = small_graph();
+  const WeightsF w = init_msra(g, 7);
+  const TensorF in = random_input(Shape{1, 3, 8, 8}, 8);
+  const auto a = run_forward(g, w, in);
+  const auto b = run_forward(g, w, in);
+  EXPECT_EQ(ncsw::tensor::max_abs_diff(a.output, b.output), 0.0);
+}
+
+TEST(Executor, BatchMatchesPerItemRuns) {
+  const Graph g = small_graph();
+  const WeightsF w = init_msra(g, 9);
+  const TensorF x0 = random_input(Shape{1, 3, 8, 8}, 10);
+  const TensorF x1 = random_input(Shape{1, 3, 8, 8}, 11);
+  TensorF batch(Shape{2, 3, 8, 8});
+  std::copy(x0.data(), x0.data() + x0.numel(), batch.batch_ptr(0));
+  std::copy(x1.data(), x1.data() + x1.numel(), batch.batch_ptr(1));
+  const auto rb = run_forward(g, w, batch);
+  const auto r0 = run_forward(g, w, x0);
+  const auto r1 = run_forward(g, w, x1);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_NEAR(rb.output.at(0, c, 0, 0), r0.output.at(0, c, 0, 0), 1e-6);
+    EXPECT_NEAR(rb.output.at(1, c, 0, 0), r1.output.at(0, c, 0, 0), 1e-6);
+  }
+}
+
+TEST(Executor, Fp16TracksFp32Closely) {
+  const Graph g = small_graph();
+  const WeightsF wf = init_msra(g, 12);
+  const WeightsH wh = to_fp16(wf);
+  const TensorF in = random_input(Shape{1, 3, 8, 8}, 13);
+  const auto rf = run_forward(g, wf, in);
+  const auto rh =
+      run_forward(g, wh, ncsw::tensor::tensor_cast<half>(in));
+  // Softmax probabilities differ by well under a percent.
+  EXPECT_LT(ncsw::tensor::max_abs_diff(rf.output, rh.output), 0.01);
+}
+
+TEST(Executor, ProbabilitiesHelperMatchesForward) {
+  const Graph g = small_graph();
+  const WeightsF w = init_msra(g, 14);
+  const TensorF in = random_input(Shape{3, 3, 8, 8}, 15);
+  const auto probs = run_probabilities(g, w, in);
+  const auto fwd = run_forward(g, w, in);
+  ASSERT_EQ(probs.size(), 3u);
+  for (std::int64_t b = 0; b < 3; ++b) {
+    ASSERT_EQ(probs[b].size(), 6u);
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_FLOAT_EQ(probs[b][c], fwd.output.at(b, c, 0, 0));
+    }
+  }
+}
+
+TEST(TopK, ArgmaxAndOrdering) {
+  const std::vector<std::vector<float>> probs{{0.1f, 0.7f, 0.2f},
+                                              {0.5f, 0.2f, 0.3f}};
+  const auto arg = argmax_per_item(probs);
+  EXPECT_EQ(arg[0], 1);
+  EXPECT_EQ(arg[1], 0);
+
+  const auto top = top_k(probs[0], 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1);
+  EXPECT_FLOAT_EQ(top[0].second, 0.7f);
+  EXPECT_EQ(top[1].first, 2);
+}
+
+TEST(TopK, TiesBrokenByLowerIndex) {
+  const auto top = top_k({0.4f, 0.4f, 0.2f}, 3);
+  EXPECT_EQ(top[0].first, 0);
+  EXPECT_EQ(top[1].first, 1);
+}
+
+TEST(TopK, KLargerThanSizeClamps) {
+  const auto top = top_k({0.9f, 0.1f}, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopK, NonPositiveKGivesEmpty) {
+  EXPECT_TRUE(top_k({0.5f, 0.5f}, 0).empty());
+  EXPECT_TRUE(top_k({0.5f, 0.5f}, -3).empty());
+}
+
+TEST(Weights, Fp16ConversionRoundsEveryEntry) {
+  Graph g;
+  const int in = g.add_input("data", 1, 4, 4);
+  g.add_conv("c", in, ConvParams{2, 3, 1, 1});
+  WeightsF wf = init_msra(g, 20);
+  const WeightsH wh = to_fp16(wf);
+  const auto& pf = wf.at("c");
+  const auto& ph = wh.at("c");
+  for (std::int64_t i = 0; i < pf.w.numel(); ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float>(ph.w[i]),
+                    ncsw::fp16::round_to_half(pf.w[i]));
+  }
+}
+
+TEST(Weights, MsraStatisticsMatchFanIn) {
+  Graph g;
+  const int in = g.add_input("data", 8, 16, 16);
+  g.add_conv("c", in, ConvParams{64, 3, 1, 1});
+  const WeightsF w = init_msra(g, 33);
+  const auto& p = w.at("c");
+  double sum = 0, sumsq = 0;
+  for (std::int64_t i = 0; i < p.w.numel(); ++i) {
+    sum += p.w[i];
+    sumsq += static_cast<double>(p.w[i]) * p.w[i];
+  }
+  const double n = static_cast<double>(p.w.numel());
+  const double expected_var = 2.0 / (8 * 3 * 3);
+  EXPECT_NEAR(sum / n, 0.0, 0.005);
+  EXPECT_NEAR(sumsq / n, expected_var, expected_var * 0.1);
+  // Biases are zero.
+  for (std::int64_t i = 0; i < p.b.numel(); ++i) EXPECT_EQ(p.b[i], 0.0f);
+}
+
+TEST(Weights, ParamShapesForConvAndFc) {
+  Graph g;
+  const int in = g.add_input("data", 3, 8, 8);
+  const int c = g.add_conv("c", in, ConvParams{5, 3, 1, 1});
+  const int fc = g.add_fc("fc", c, FCParams{7});
+  const auto [cw, cb] = param_shapes(g, c);
+  EXPECT_EQ(cw, (Shape{5, 3, 3, 3}));
+  EXPECT_EQ(cb, (Shape{1, 5, 1, 1}));
+  const auto [fw, fb] = param_shapes(g, fc);
+  EXPECT_EQ(fw, (Shape{7, 5 * 8 * 8, 1, 1}));
+  EXPECT_EQ(fb, (Shape{1, 7, 1, 1}));
+  EXPECT_THROW(param_shapes(g, 0), std::logic_error);
+}
+
+}  // namespace

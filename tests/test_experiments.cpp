@@ -1,0 +1,147 @@
+// Integration tests: the paper's qualitative claims must hold on the
+// experiment drivers (who wins, by what factor, where crossovers fall).
+// Workload sizes are reduced; the statistics are unchanged because the
+// timing simulation is deterministic up to bounded jitter.
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ncsw::core::experiments;
+
+TEST(Fig6a, VpuMatchesGpuAndBeatsCpu) {
+  TimingSettings s;
+  s.images_per_subset = 800;
+  s.subsets = 5;
+  const auto rows = fig6a(s);
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& r : rows) {
+    // Paper: VPU 77.2, GPU 74.2, CPU 44.0 img/s.
+    EXPECT_NEAR(r.vpu, 77.2, 2.5) << r.subset;
+    EXPECT_NEAR(r.gpu, 74.2, 2.5) << r.subset;
+    EXPECT_NEAR(r.cpu, 44.0, 1.5) << r.subset;
+    EXPECT_GT(r.vpu, r.gpu);  // multi-VPU edges out the GPU
+    EXPECT_GT(r.gpu, r.cpu);
+    // "the optimized Caffe framework on the CPU is ~40% slower" than VPU.
+    EXPECT_NEAR((r.vpu - r.cpu) / r.vpu, 0.42, 0.05);
+  }
+}
+
+TEST(Fig6a, SubsetNamesAndErrorBars) {
+  TimingSettings s;
+  s.images_per_subset = 400;
+  s.subsets = 2;
+  const auto rows = fig6a(s);
+  EXPECT_EQ(rows[0].subset, "Set-1");
+  EXPECT_EQ(rows[1].subset, "Set-2");
+  for (const auto& r : rows) {
+    EXPECT_GT(r.cpu_sd, 0.0);
+    EXPECT_GT(r.vpu_sd, 0.0);
+  }
+}
+
+TEST(Fig6b, BaselinesMatchPaperSingleInputTimes) {
+  const auto result = fig6b(600);
+  EXPECT_NEAR(result.cpu_base_ms, 26.0, 0.3);
+  EXPECT_NEAR(result.gpu_base_ms, 25.9, 0.3);
+  EXPECT_NEAR(result.vpu_base_ms, 100.7, 1.5);
+}
+
+TEST(Fig6b, ScalingShapes) {
+  const auto result = fig6b(800);
+  ASSERT_EQ(result.rows.size(), 4u);
+  // Batch 1 rows normalise to ~1.
+  EXPECT_NEAR(result.rows[0].cpu, 1.0, 0.02);
+  EXPECT_NEAR(result.rows[0].vpu, 1.0, 0.02);
+  // VPU nearly doubles with each doubling of chips.
+  EXPECT_NEAR(result.rows[1].vpu, 1.95, 0.12);
+  EXPECT_NEAR(result.rows[2].vpu, 3.9, 0.2);
+  EXPECT_GT(result.rows[3].vpu, 7.4);
+  // CPU improves ~15%, GPU ~92% at batch 8 (paper Section IV-A).
+  EXPECT_NEAR(result.rows[3].cpu, 1.147, 0.04);
+  EXPECT_NEAR(result.rows[3].gpu, 1.925, 0.06);
+  // Monotone increase for all devices.
+  for (std::size_t i = 1; i < result.rows.size(); ++i) {
+    EXPECT_GE(result.rows[i].vpu, result.rows[i - 1].vpu);
+    EXPECT_GE(result.rows[i].cpu, result.rows[i - 1].cpu - 0.02);
+    EXPECT_GE(result.rows[i].gpu, result.rows[i - 1].gpu);
+  }
+}
+
+TEST(Fig8a, ThroughputPerWattOrdering) {
+  const auto rows = fig8a(600);
+  ASSERT_EQ(rows.size(), 4u);
+  // Paper: VPU ~3.97 img/W at batch 1; CPU 0.55 and GPU 0.93 at batch 8.
+  EXPECT_NEAR(rows[0].vpu, 3.97, 0.15);
+  EXPECT_NEAR(rows[3].cpu, 0.55, 0.03);
+  EXPECT_NEAR(rows[3].gpu, 0.93, 0.05);
+  for (const auto& r : rows) {
+    // "over 3x higher in comparison".
+    EXPECT_GT(r.vpu, 3.0 * r.gpu);
+    EXPECT_GT(r.vpu, 3.0 * r.cpu);
+    // VPU ratio barely moves with chip count (small transfer penalty).
+    EXPECT_GT(r.vpu, 3.5);
+    EXPECT_LT(r.vpu, 4.1);
+  }
+}
+
+TEST(Fig8b, ProjectedSixteenChipThroughput) {
+  const auto rows = fig8b(800);
+  ASSERT_EQ(rows.size(), 5u);
+  const auto& last = rows.back();
+  EXPECT_EQ(last.batch, 16);
+  EXPECT_TRUE(last.vpu_projected);
+  EXPECT_FALSE(rows[3].vpu_projected);
+  // Paper: 153.0 img/s at 16 chips, 3.4x CPU, 1.9x GPU.
+  EXPECT_NEAR(last.vpu, 153.0, 6.0);
+  EXPECT_NEAR(last.cpu, 44.5, 1.0);
+  EXPECT_NEAR(last.gpu, 79.3, 2.0);
+  EXPECT_NEAR(last.vpu / last.cpu, 3.4, 0.25);
+  EXPECT_NEAR(last.vpu / last.gpu, 1.9, 0.15);
+  // Crossover: GPU beats the VPU group up to ~8 sticks... actually the
+  // paper has VPU pass the GPU at 8; check ordering at 4 and 8.
+  const auto& b4 = rows[2];
+  EXPECT_LT(b4.vpu, b4.gpu);  // 4 sticks (~39 img/s) below GPU (~64)
+  const auto& b8 = rows[3];
+  EXPECT_GT(b8.vpu, b8.gpu);  // 8 sticks overtake the GPU
+}
+
+TEST(Fig7, ErrorRatesMatchPaperBand) {
+  ErrorSettings s;
+  s.images_per_subset = 120;
+  s.data.subsets = 3;
+  const auto rows = fig7(s);
+  ASSERT_EQ(rows.size(), 3u);
+  double cpu_sum = 0, vpu_sum = 0, conf_sum = 0;
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.images, 120);
+    cpu_sum += r.cpu_error;
+    vpu_sum += r.vpu_error;
+    conf_sum += r.conf_diff;
+  }
+  const double cpu_avg = cpu_sum / 3, vpu_avg = vpu_sum / 3;
+  // Paper: ~32% top-1 error; allow a generous band for the small sample.
+  EXPECT_GT(cpu_avg, 0.20);
+  EXPECT_LT(cpu_avg, 0.45);
+  // FP16 vs FP32 error difference is negligible (paper: 0.09%; sampling
+  // noise dominates at this size, so allow up to 4 points).
+  EXPECT_NEAR(vpu_avg, cpu_avg, 0.04);
+  // Confidence difference is sub-percent (paper: 0.44%).
+  EXPECT_GT(conf_sum / 3, 0.0);
+  EXPECT_LT(conf_sum / 3, 0.02);
+}
+
+TEST(Fig7, DeterministicAcrossRuns) {
+  ErrorSettings s;
+  s.images_per_subset = 40;
+  s.data.subsets = 1;
+  const auto a = fig7(s);
+  const auto b = fig7(s);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[0].cpu_error, b[0].cpu_error);
+  EXPECT_DOUBLE_EQ(a[0].vpu_error, b[0].vpu_error);
+  EXPECT_DOUBLE_EQ(a[0].conf_diff, b[0].conf_diff);
+}
+
+}  // namespace

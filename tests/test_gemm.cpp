@@ -1,0 +1,162 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace {
+
+using ncsw::fp16::half;
+using ncsw::tensor::gemm_f16;
+using ncsw::tensor::gemm_f32;
+using ncsw::tensor::gemv_f32;
+
+// Naive triple loop as the reference.
+void gemm_ref(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = beta == 0.0f ? 0.0 : beta * c[i * n + j];
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(alpha) * a[i * k + kk] * b[kk * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+std::vector<float> random_matrix(std::int64_t elems, std::uint64_t seed) {
+  ncsw::util::Xoshiro256 rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(elems));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+TEST(GemmF32, IdentityTimesMatrix) {
+  const std::int64_t n = 4;
+  std::vector<float> eye(n * n, 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) eye[i * n + i] = 1.0f;
+  const auto b = random_matrix(n * n, 1);
+  std::vector<float> c(n * n, 0.0f);
+  gemm_f32(n, n, n, 1.0f, eye.data(), b.data(), 0.0f, c.data());
+  for (std::int64_t i = 0; i < n * n; ++i) EXPECT_FLOAT_EQ(c[i], b[i]);
+}
+
+TEST(GemmF32, KnownSmallProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c[4] = {};
+  gemm_f32(2, 2, 2, 1.0f, a, b, 0.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(GemmF32, AlphaScales) {
+  const float a[] = {1, 0, 0, 1};
+  const float b[] = {2, 0, 0, 2};
+  float c[4] = {};
+  gemm_f32(2, 2, 2, 3.0f, a, b, 0.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 6);
+  EXPECT_FLOAT_EQ(c[3], 6);
+}
+
+TEST(GemmF32, BetaAccumulates) {
+  const float a[] = {1};
+  const float b[] = {1};
+  float c[1] = {10};
+  gemm_f32(1, 1, 1, 1.0f, a, b, 1.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 11);
+  gemm_f32(1, 1, 1, 1.0f, a, b, 0.5f, c);
+  EXPECT_FLOAT_EQ(c[0], 6.5f);
+}
+
+struct GemmShape {
+  std::int64_t m, n, k;
+};
+
+class GemmShapeParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeParam, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_matrix(m * k, 100 + m);
+  const auto b = random_matrix(k * n, 200 + n);
+  auto c_fast = random_matrix(m * n, 300 + k);
+  auto c_ref = c_fast;
+  gemm_f32(m, n, k, 0.75f, a.data(), b.data(), 0.25f, c_fast.data());
+  gemm_ref(m, n, k, 0.75f, a.data(), b.data(), 0.25f, c_ref.data());
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c_fast[i], c_ref[i], 1e-4f) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeParam,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(1, 64, 300),
+                      std::make_tuple(65, 129, 257),
+                      std::make_tuple(70, 70, 70),
+                      std::make_tuple(128, 1, 64)));
+
+TEST(GemmF16, MatchesF32WithinHalfPrecision) {
+  const std::int64_t m = 8, n = 12, k = 40;
+  const auto af = random_matrix(m * k, 9);
+  const auto bf = random_matrix(k * n, 10);
+  std::vector<half> ah, bh;
+  for (float x : af) ah.emplace_back(x);
+  for (float x : bf) bh.emplace_back(x);
+  std::vector<half> ch(static_cast<std::size_t>(m * n));
+  gemm_f16(m, n, k, 1.0f, ah.data(), bh.data(), 0.0f, ch.data());
+  std::vector<float> cf(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_f32(m, n, k, 1.0f, af.data(), bf.data(), 0.0f, cf.data());
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    // FP16 inputs alone already carry ~1e-3 relative error; the FP32
+    // accumulation keeps the sum error bounded near that.
+    EXPECT_NEAR(static_cast<float>(ch[i]), cf[i], 0.05f) << i;
+  }
+}
+
+TEST(GemmF16, AccumulatesInFp32NotFp16) {
+  // Summing 4096 copies of 0.25 = 1024. A pure-FP16 accumulator would
+  // stall once the sum exceeds 2048*0.25 resolution; FP32 accumulation
+  // with one final rounding stays exact (1024 is representable).
+  const std::int64_t k = 4096;
+  std::vector<half> a(static_cast<std::size_t>(k), half(0.25f));
+  std::vector<half> b(static_cast<std::size_t>(k), half(1.0f));
+  half c;
+  gemm_f16(1, 1, k, 1.0f, a.data(), b.data(), 0.0f, &c);
+  EXPECT_FLOAT_EQ(static_cast<float>(c), 1024.0f);
+}
+
+TEST(GemmF16, BetaPath) {
+  half a(2.0f), b(3.0f), c(10.0f);
+  gemm_f16(1, 1, 1, 1.0f, &a, &b, 1.0f, &c);
+  EXPECT_FLOAT_EQ(static_cast<float>(c), 16.0f);
+}
+
+TEST(GemvF32, MatchesGemmColumnCase) {
+  const std::int64_t m = 17, k = 33;
+  const auto a = random_matrix(m * k, 4);
+  const auto x = random_matrix(k, 5);
+  std::vector<float> y1(static_cast<std::size_t>(m), 0.0f);
+  std::vector<float> y2(static_cast<std::size_t>(m), 0.0f);
+  gemv_f32(m, k, a.data(), x.data(), 0.0f, y1.data());
+  gemm_f32(m, 1, k, 1.0f, a.data(), x.data(), 0.0f, y2.data());
+  for (std::int64_t i = 0; i < m; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-5f);
+}
+
+TEST(GemvF32, BetaRetainsPrevious) {
+  const float a[] = {1, 1};
+  const float x[] = {2, 3};
+  float y[] = {100};
+  gemv_f32(1, 2, a, x, 1.0f, y);
+  EXPECT_FLOAT_EQ(y[0], 105.0f);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include "nn/googlenet.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ncsw::nn;
+using ncsw::tensor::Shape;
+
+TEST(GoogLeNet, ValidatesAndHasCanonicalStageShapes) {
+  const Graph g = build_googlenet();
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.name(), "bvlc_googlenet");
+
+  auto shape_of = [&](const char* name) {
+    const int id = g.find(name);
+    EXPECT_GE(id, 0) << name;
+    return g.layer(id).out_shape;
+  };
+  EXPECT_EQ(shape_of("data"), (Shape{1, 3, 224, 224}));
+  EXPECT_EQ(shape_of("conv1/7x7_s2"), (Shape{1, 64, 112, 112}));
+  EXPECT_EQ(shape_of("pool1/3x3_s2"), (Shape{1, 64, 56, 56}));
+  EXPECT_EQ(shape_of("conv2/3x3"), (Shape{1, 192, 56, 56}));
+  EXPECT_EQ(shape_of("pool2/3x3_s2"), (Shape{1, 192, 28, 28}));
+  EXPECT_EQ(shape_of("inception_3a/output"), (Shape{1, 256, 28, 28}));
+  EXPECT_EQ(shape_of("inception_3b/output"), (Shape{1, 480, 28, 28}));
+  EXPECT_EQ(shape_of("pool3/3x3_s2"), (Shape{1, 480, 14, 14}));
+  EXPECT_EQ(shape_of("inception_4a/output"), (Shape{1, 512, 14, 14}));
+  EXPECT_EQ(shape_of("inception_4e/output"), (Shape{1, 832, 14, 14}));
+  EXPECT_EQ(shape_of("pool4/3x3_s2"), (Shape{1, 832, 7, 7}));
+  EXPECT_EQ(shape_of("inception_5b/output"), (Shape{1, 1024, 7, 7}));
+  EXPECT_EQ(shape_of("pool5/7x7_s1"), (Shape{1, 1024, 1, 1}));
+  EXPECT_EQ(shape_of("loss3/classifier"), (Shape{1, 1000, 1, 1}));
+  EXPECT_EQ(g.output_shape(), (Shape{1, 1000, 1, 1}));
+}
+
+TEST(GoogLeNet, MacCountMatchesLiterature) {
+  // BVLC GoogLeNet is ~1.6e9 multiply-accumulates per 224x224 image
+  // (Szegedy et al. report ~1.5G "ops" counting conv layers only).
+  const std::int64_t macs = graph_macs(build_googlenet());
+  EXPECT_GT(macs, 1'450'000'000);
+  EXPECT_LT(macs, 1'700'000'000);
+}
+
+TEST(GoogLeNet, ParameterCountNearSevenMillion) {
+  const Graph g = build_googlenet();
+  const WeightsF w = init_msra(g, 0);
+  const std::int64_t params = w.param_count();
+  // BVLC GoogLeNet has ~7.0M parameters.
+  EXPECT_GT(params, 6'500'000);
+  EXPECT_LT(params, 7'500'000);
+}
+
+TEST(GoogLeNet, NineInceptionModules) {
+  const Graph g = build_googlenet();
+  int modules = 0;
+  for (const auto& l : g.layers()) {
+    if (l.kind == LayerKind::kConcat) ++modules;
+  }
+  EXPECT_EQ(modules, 9);
+}
+
+TEST(GoogLeNet, InceptionBranchStructure) {
+  Graph g("probe");
+  const int in = g.add_input("data", 4, 8, 8);
+  const int out = add_inception(g, "inc", in, {2, 3, 4, 1, 2, 2});
+  // 2 + 4 + 2 + 2 channels out.
+  EXPECT_EQ(g.layer(out).out_shape, (Shape{1, 10, 8, 8}));
+  // Branch layers exist with the Caffe naming convention.
+  EXPECT_GE(g.find("inc/1x1"), 0);
+  EXPECT_GE(g.find("inc/3x3_reduce"), 0);
+  EXPECT_GE(g.find("inc/5x5"), 0);
+  EXPECT_GE(g.find("inc/pool_proj"), 0);
+}
+
+TEST(TinyGoogLeNet, BuildsAndRuns) {
+  const TinyGoogLeNetConfig cfg{32, 10};
+  const Graph g = build_tiny_googlenet(cfg);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.output_shape(), (Shape{1, 10, 1, 1}));
+  const WeightsF w = init_msra(g, 5);
+  ncsw::tensor::TensorF in(Shape{1, 3, 32, 32}, 0.5f);
+  const auto probs = run_probabilities(g, w, in);
+  double sum = 0;
+  for (float p : probs[0]) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(TinyGoogLeNet, RejectsBadConfig) {
+  EXPECT_THROW(build_tiny_googlenet({8, 10}), std::invalid_argument);
+  EXPECT_THROW(build_tiny_googlenet({32, 1}), std::invalid_argument);
+}
+
+TEST(TinyGoogLeNet, SharesStructuralPatternWithFullNetwork) {
+  const Graph tiny = build_tiny_googlenet({32, 10});
+  const Graph full = build_googlenet();
+  auto kinds_present = [](const Graph& g) {
+    std::set<LayerKind> kinds;
+    for (const auto& l : g.layers()) kinds.insert(l.kind);
+    return kinds;
+  };
+  EXPECT_EQ(kinds_present(tiny), kinds_present(full));
+}
+
+TEST(TemplateClassifier, PerfectOnNoiselessPrototypes) {
+  ncsw::dataset::DatasetConfig dc;
+  dc.num_classes = 8;
+  dc.image_size = 40;
+  const ncsw::dataset::SyntheticImageNet data(dc);
+
+  const TinyGoogLeNetConfig cfg{32, 8};
+  const Graph g = build_tiny_googlenet(cfg);
+  WeightsF w = init_msra(g, 17);
+  const auto protos = data.prototype_tensors(cfg.input_size);
+  fit_template_classifier(g, w, "loss3/classifier", protos);
+
+  // Every prototype must classify as itself with high confidence.
+  for (int c = 0; c < 8; ++c) {
+    const auto probs = run_probabilities(g, w, protos[c]);
+    const auto arg = argmax_per_item(probs);
+    EXPECT_EQ(arg[0], c);
+    EXPECT_GT(probs[0][c], 0.3f);
+  }
+}
+
+TEST(TemplateClassifier, RowsAreUnitNorm) {
+  ncsw::dataset::DatasetConfig dc;
+  dc.num_classes = 4;
+  const ncsw::dataset::SyntheticImageNet data(dc);
+  const TinyGoogLeNetConfig cfg{32, 4};
+  const Graph g = build_tiny_googlenet(cfg);
+  WeightsF w = init_msra(g, 18);
+  fit_template_classifier(g, w, "loss3/classifier",
+                          data.prototype_tensors(cfg.input_size));
+  const auto& fc = w.at("loss3/classifier");
+  const std::int64_t dim = fc.w.shape().c;
+  for (int c = 0; c < 4; ++c) {
+    double norm = 0;
+    for (std::int64_t i = 0; i < dim; ++i) {
+      norm += static_cast<double>(fc.w[c * dim + i]) * fc.w[c * dim + i];
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(TemplateClassifier, ErrorsOnBadArguments) {
+  ncsw::dataset::DatasetConfig dc;
+  dc.num_classes = 4;
+  const ncsw::dataset::SyntheticImageNet data(dc);
+  const TinyGoogLeNetConfig cfg{32, 4};
+  const Graph g = build_tiny_googlenet(cfg);
+  WeightsF w = init_msra(g, 19);
+  auto protos = data.prototype_tensors(cfg.input_size);
+
+  EXPECT_THROW(fit_template_classifier(g, w, "nope", protos),
+               std::invalid_argument);
+  EXPECT_THROW(fit_template_classifier(g, w, "conv1/7x7_s2", protos),
+               std::invalid_argument);
+  protos.pop_back();
+  EXPECT_THROW(fit_template_classifier(g, w, "loss3/classifier", protos),
+               std::invalid_argument);
+}
+
+TEST(GraphMacs, CountsOnlyWeightLayers) {
+  Graph g;
+  const int in = g.add_input("data", 2, 4, 4);
+  const int c = g.add_conv("c", in, ConvParams{3, 3, 1, 1});
+  g.add_relu("r", c);
+  // conv: out 3x4x4 = 48 elements x (2*3*3=18) = 864 MACs.
+  EXPECT_EQ(graph_macs(g), 864);
+}
+
+}  // namespace

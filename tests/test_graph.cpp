@@ -1,0 +1,178 @@
+#include "nn/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ncsw::nn;
+
+TEST(Extents, ConvFormula) {
+  EXPECT_EQ(conv_extent(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_extent(28, 3, 1, 1), 28);
+  EXPECT_EQ(conv_extent(28, 5, 1, 2), 28);
+  EXPECT_EQ(conv_extent(28, 1, 1, 0), 28);
+}
+
+TEST(Extents, PoolCeilVsFloor) {
+  // 112 -> 3x3 stride 2: Caffe ceil gives 56, floor gives 55.
+  EXPECT_EQ(pooled_extent(112, 3, 2, 0, true), 56);
+  EXPECT_EQ(pooled_extent(112, 3, 2, 0, false), 55);
+  EXPECT_EQ(pooled_extent(56, 3, 2, 0, true), 28);
+  EXPECT_EQ(pooled_extent(28, 3, 2, 0, true), 14);
+  EXPECT_EQ(pooled_extent(14, 3, 2, 0, true), 7);
+}
+
+TEST(Extents, PoolPadClamp) {
+  // With padding, the last window must start inside the padded input.
+  // in=4, k=2, s=2, pad=1, ceil: (4+2-2+1)/2+1 = 3 -> start of window 2 is
+  // 2*2-1=3 < 4+1, stays 3.
+  EXPECT_EQ(pooled_extent(4, 2, 2, 1, true), 3);
+  // in=3, k=3, s=3, pad=1: ceil((3+2-3)/3)+1 = 2; window 1 starts at
+  // 3-1=2 < 3+1 -> keeps 2.
+  EXPECT_EQ(pooled_extent(3, 3, 3, 1, true), 2);
+}
+
+TEST(Graph, InputMustComeFirstAndBeUnique) {
+  Graph g;
+  g.add_input("data", 3, 8, 8);
+  EXPECT_THROW(g.add_input("data2", 3, 8, 8), std::logic_error);
+}
+
+TEST(Graph, RejectsBadInputDims) {
+  Graph g;
+  EXPECT_THROW(g.add_input("data", 0, 8, 8), std::logic_error);
+}
+
+TEST(Graph, ConvShapeInference) {
+  Graph g;
+  const int in = g.add_input("data", 3, 224, 224);
+  const int conv = g.add_conv("c1", in, ConvParams{64, 7, 2, 3});
+  EXPECT_EQ(g.layer(conv).out_shape, (ncsw::tensor::Shape{1, 64, 112, 112}));
+}
+
+TEST(Graph, ConvRejectsKernelTooLarge) {
+  Graph g;
+  const int in = g.add_input("data", 3, 4, 4);
+  EXPECT_THROW(g.add_conv("c", in, ConvParams{8, 9, 1, 0}), std::logic_error);
+}
+
+TEST(Graph, ConvRejectsBadParams) {
+  Graph g;
+  const int in = g.add_input("data", 3, 8, 8);
+  EXPECT_THROW(g.add_conv("c", in, ConvParams{0, 3, 1, 1}), std::logic_error);
+  EXPECT_THROW(g.add_conv("c", in, ConvParams{8, 3, 0, 1}), std::logic_error);
+  EXPECT_THROW(g.add_conv("c", in, ConvParams{8, 3, 1, -1}), std::logic_error);
+}
+
+TEST(Graph, DuplicateNamesRejected) {
+  Graph g;
+  const int in = g.add_input("data", 3, 8, 8);
+  g.add_relu("r", in);
+  EXPECT_THROW(g.add_relu("r", in), std::logic_error);
+}
+
+TEST(Graph, UnknownInputIdRejected) {
+  Graph g;
+  g.add_input("data", 3, 8, 8);
+  EXPECT_THROW(g.add_relu("r", 5), std::logic_error);
+  EXPECT_THROW(g.add_relu("r2", -1), std::logic_error);
+}
+
+TEST(Graph, PoolShapes) {
+  Graph g;
+  const int in = g.add_input("data", 8, 112, 112);
+  const int mp = g.add_max_pool("mp", in, PoolParams{3, 2, 0, true, false});
+  EXPECT_EQ(g.layer(mp).out_shape, (ncsw::tensor::Shape{1, 8, 56, 56}));
+  PoolParams global;
+  global.global = true;
+  const int gp = g.add_avg_pool("gp", mp, global);
+  EXPECT_EQ(g.layer(gp).out_shape, (ncsw::tensor::Shape{1, 8, 1, 1}));
+}
+
+TEST(Graph, LrnKeepsShapeAndValidatesWindow) {
+  Graph g;
+  const int in = g.add_input("data", 16, 10, 10);
+  const int lrn = g.add_lrn("n", in, LRNParams{5, 1e-4f, 0.75f, 1.0f});
+  EXPECT_EQ(g.layer(lrn).out_shape, g.layer(in).out_shape);
+  EXPECT_THROW(g.add_lrn("n2", in, LRNParams{4, 1e-4f, 0.75f, 1.0f}),
+               std::logic_error);
+  EXPECT_THROW(g.add_lrn("n3", in, LRNParams{-1, 1e-4f, 0.75f, 1.0f}),
+               std::logic_error);
+}
+
+TEST(Graph, ConcatSumsChannels) {
+  Graph g;
+  const int in = g.add_input("data", 4, 6, 6);
+  const int a = g.add_conv("a", in, ConvParams{8, 1, 1, 0});
+  const int b = g.add_conv("b", in, ConvParams{16, 3, 1, 1});
+  const int cat = g.add_concat("cat", {a, b});
+  EXPECT_EQ(g.layer(cat).out_shape, (ncsw::tensor::Shape{1, 24, 6, 6}));
+}
+
+TEST(Graph, ConcatRejectsSpatialMismatch) {
+  Graph g;
+  const int in = g.add_input("data", 4, 6, 6);
+  const int a = g.add_conv("a", in, ConvParams{8, 1, 1, 0});
+  const int b = g.add_conv("b", in, ConvParams{8, 3, 2, 1});  // 3x3 output
+  EXPECT_THROW(g.add_concat("cat", {a, b}), std::logic_error);
+}
+
+TEST(Graph, ConcatRejectsEmpty) {
+  Graph g;
+  g.add_input("data", 4, 6, 6);
+  EXPECT_THROW(g.add_concat("cat", {}), std::logic_error);
+}
+
+TEST(Graph, FcFlattensInput) {
+  Graph g;
+  const int in = g.add_input("data", 4, 6, 6);
+  const int fc = g.add_fc("fc", in, FCParams{10});
+  EXPECT_EQ(g.layer(fc).out_shape, (ncsw::tensor::Shape{1, 10, 1, 1}));
+  EXPECT_THROW(g.add_fc("fc2", in, FCParams{0}), std::logic_error);
+}
+
+TEST(Graph, SoftmaxDropoutKeepShape) {
+  Graph g;
+  const int in = g.add_input("data", 4, 1, 1);
+  const int d = g.add_dropout("drop", in);
+  const int s = g.add_softmax("sm", d);
+  EXPECT_EQ(g.layer(s).out_shape, g.layer(in).out_shape);
+}
+
+TEST(Graph, FindByName) {
+  Graph g;
+  g.add_input("data", 3, 8, 8);
+  const int r = g.add_relu("relu1", 0);
+  EXPECT_EQ(g.find("relu1"), r);
+  EXPECT_EQ(g.find("nope"), -1);
+}
+
+TEST(Graph, ValidatePassesOnWellFormed) {
+  Graph g;
+  const int in = g.add_input("data", 3, 16, 16);
+  const int c = g.add_conv("c", in, ConvParams{8, 3, 1, 1});
+  const int r = g.add_relu("r", c);
+  g.add_softmax("s", r);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, ValidateRejectsEmptyGraph) {
+  Graph g;
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Graph, HasWeightsOnlyConvFc) {
+  EXPECT_TRUE(Graph::has_weights(LayerKind::kConv));
+  EXPECT_TRUE(Graph::has_weights(LayerKind::kFC));
+  EXPECT_FALSE(Graph::has_weights(LayerKind::kReLU));
+  EXPECT_FALSE(Graph::has_weights(LayerKind::kConcat));
+  EXPECT_FALSE(Graph::has_weights(LayerKind::kSoftmax));
+}
+
+TEST(Graph, LayerKindNames) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConv), "Conv");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kMaxPool), "MaxPool");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kLRN), "LRN");
+}
+
+}  // namespace

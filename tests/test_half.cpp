@@ -1,0 +1,198 @@
+#include "half/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+using ncsw::fp16::float_to_half_bits;
+using ncsw::fp16::half;
+using ncsw::fp16::half_bits_to_float;
+
+TEST(Half, ZeroDefault) {
+  half h;
+  EXPECT_EQ(h.bits(), 0);
+  EXPECT_TRUE(h.is_zero());
+  EXPECT_EQ(h.to_float(), 0.0f);
+}
+
+TEST(Half, KnownEncodings) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(half(-1.0f).bits(), 0xbc00);
+  EXPECT_EQ(half(2.0f).bits(), 0x4000);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bff);  // max finite
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000);
+}
+
+TEST(Half, RoundTripExhaustiveOverAllBitPatterns) {
+  // Every finite half value must survive half -> float -> half exactly;
+  // NaNs must stay NaN.
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const half h = half::from_bits(bits);
+    if (h.is_nan()) {
+      EXPECT_TRUE(half(h.to_float()).is_nan());
+      continue;
+    }
+    EXPECT_EQ(float_to_half_bits(h.to_float()), bits) << "bits=" << b;
+  }
+}
+
+TEST(Half, RoundToNearestEvenAtMidpoints) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even
+  // keep 1.0 (mantissa even).
+  EXPECT_EQ(float_to_half_bits(1.0f + 0x1.0p-11f), 0x3c00);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to even
+  // (mantissa 2).
+  EXPECT_EQ(float_to_half_bits(1.0f + 3 * 0x1.0p-11f), 0x3c02);
+  // Slightly above the midpoint rounds up.
+  EXPECT_EQ(float_to_half_bits(1.0f + 0x1.1p-11f), 0x3c01);
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(half(65520.0f).is_inf());  // rounds past max finite
+  EXPECT_TRUE(half(1e30f).is_inf());
+  EXPECT_TRUE(half(-1e30f).is_inf());
+  EXPECT_TRUE(half(-1e30f).signbit());
+}
+
+TEST(Half, LargestValueBelowOverflowThreshold) {
+  // 65519.996 rounds down to 65504, not infinity.
+  EXPECT_EQ(half(65519.0f).bits(), 0x7bff);
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  // Smallest positive subnormal = 2^-24.
+  const float tiny = 0x1.0p-24f;
+  EXPECT_EQ(half(tiny).bits(), 0x0001);
+  EXPECT_FLOAT_EQ(half::from_bits(0x0001).to_float(), tiny);
+  EXPECT_TRUE(half::from_bits(0x0001).is_subnormal());
+}
+
+TEST(Half, SubnormalRounding) {
+  // 1.5 * 2^-24 is halfway between 2^-24 and 2^-23: ties-to-even -> 2^-23.
+  EXPECT_EQ(float_to_half_bits(1.5f * 0x1.0p-24f), 0x0002);
+  // 0.5 * 2^-24 is halfway between 0 and 2^-24 -> even -> zero.
+  EXPECT_EQ(float_to_half_bits(0.5f * 0x1.0p-24f), 0x0000);
+}
+
+TEST(Half, UnderflowToSignedZero) {
+  EXPECT_EQ(half(1e-10f).bits(), 0x0000);
+  EXPECT_EQ(half(-1e-10f).bits(), 0x8000);
+}
+
+TEST(Half, SubnormalToNormalRoundingCarry) {
+  // Just below the smallest normal: rounds up into the normal range.
+  const float near_normal = 0x1.ffcp-15f;  // close to 2^-14
+  const half h(near_normal);
+  EXPECT_FALSE(h.is_nan());
+  EXPECT_NEAR(h.to_float(), 0x1.0p-14f, 0x1.0p-24f);
+}
+
+TEST(Half, InfinityAndNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(half(inf).is_inf());
+  EXPECT_FALSE(half(inf).signbit());
+  EXPECT_TRUE(half(-inf).is_inf());
+  EXPECT_TRUE(half(-inf).signbit());
+  EXPECT_TRUE(half(std::numeric_limits<float>::quiet_NaN()).is_nan());
+  EXPECT_TRUE(std::isnan(ncsw::fp16::kHalfQuietNaN.to_float()));
+  EXPECT_TRUE(std::isinf(ncsw::fp16::kHalfInfinity.to_float()));
+}
+
+TEST(Half, ArithmeticBasics) {
+  const half a(1.5f), b(2.25f);
+  EXPECT_FLOAT_EQ((a + b).to_float(), 3.75f);
+  EXPECT_FLOAT_EQ((b - a).to_float(), 0.75f);
+  EXPECT_FLOAT_EQ((a * b).to_float(), 3.375f);
+  EXPECT_FLOAT_EQ((b / half(0.5f)).to_float(), 4.5f);
+  EXPECT_FLOAT_EQ((-a).to_float(), -1.5f);
+}
+
+TEST(Half, ArithmeticRoundsResult) {
+  // 1 + 2^-11 is not representable: the sum rounds back to 1.
+  const half one(1.0f);
+  const half eps_small(0x1.0p-11f);
+  EXPECT_EQ((one + eps_small).bits(), 0x3c00);
+  // But 1 + 2^-10 is representable.
+  EXPECT_EQ((one + half(0x1.0p-10f)).bits(), 0x3c01);
+}
+
+TEST(Half, CompoundAssignment) {
+  half h(1.0f);
+  h += half(2.0f);
+  EXPECT_FLOAT_EQ(h.to_float(), 3.0f);
+  h *= half(2.0f);
+  EXPECT_FLOAT_EQ(h.to_float(), 6.0f);
+  h -= half(1.0f);
+  EXPECT_FLOAT_EQ(h.to_float(), 5.0f);
+  h /= half(2.0f);
+  EXPECT_FLOAT_EQ(h.to_float(), 2.5f);
+}
+
+TEST(Half, ComparisonSemantics) {
+  EXPECT_TRUE(half(1.0f) < half(2.0f));
+  EXPECT_TRUE(half(2.0f) > half(1.0f));
+  EXPECT_TRUE(half(1.0f) <= half(1.0f));
+  EXPECT_TRUE(half(1.0f) == half(1.0f));
+  EXPECT_TRUE(half(1.0f) != half(2.0f));
+  // IEEE: +0 == -0.
+  EXPECT_TRUE(half(0.0f) == half(-0.0f));
+  // NaN compares false with everything, including itself.
+  const half nan = ncsw::fp16::kHalfQuietNaN;
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(nan != nan);
+  EXPECT_FALSE(nan < half(1.0f));
+}
+
+TEST(Half, NumericLimits) {
+  using lim = std::numeric_limits<half>;
+  EXPECT_TRUE(lim::is_specialized);
+  EXPECT_FLOAT_EQ(lim::max().to_float(), 65504.0f);
+  EXPECT_FLOAT_EQ(lim::lowest().to_float(), -65504.0f);
+  EXPECT_FLOAT_EQ(lim::min().to_float(), 0x1.0p-14f);
+  EXPECT_FLOAT_EQ(lim::denorm_min().to_float(), 0x1.0p-24f);
+  EXPECT_FLOAT_EQ(lim::epsilon().to_float(), 0x1.0p-10f);
+  EXPECT_EQ(lim::digits, 11);
+}
+
+TEST(Half, RoundToHalfHelper) {
+  EXPECT_FLOAT_EQ(ncsw::fp16::round_to_half(1.0f), 1.0f);
+  // pi loses precision.
+  const float pi = 3.14159265f;
+  const float rounded = ncsw::fp16::round_to_half(pi);
+  EXPECT_NE(rounded, pi);
+  EXPECT_NEAR(rounded, pi, 0.002f);
+}
+
+TEST(Half, RelativeErrorBoundedForNormalRange) {
+  // For values in the normal range, |x - half(x)| / |x| <= 2^-11.
+  for (float x : {0.001f, 0.37f, 1.7f, 42.0f, 999.0f, 60000.0f}) {
+    const float r = ncsw::fp16::round_to_half(x);
+    EXPECT_LE(std::abs(r - x) / x, 0x1.0p-11f) << x;
+  }
+}
+
+class HalfMonotonicParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(HalfMonotonicParam, ConversionIsMonotonic) {
+  // float -> half must be monotonic: larger floats never map to smaller
+  // halves. Sweep a band of the positive range.
+  const int band = GetParam();
+  float prev_val = -std::numeric_limits<float>::infinity();
+  for (int i = 0; i <= 1000; ++i) {
+    const float x = std::ldexp(1.0f + static_cast<float>(i) / 1000.0f, band);
+    const float h = ncsw::fp16::round_to_half(x);
+    EXPECT_GE(h, prev_val);
+    prev_val = h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, HalfMonotonicParam,
+                         ::testing::Values(-20, -14, -10, -1, 0, 1, 7, 14));
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include "imgproc/image.h"
+#include "imgproc/ops.h"
+#include "imgproc/ppm.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/rng.h"
+
+namespace {
+
+using ncsw::imgproc::center_crop;
+using ncsw::imgproc::ChannelMeans;
+using ncsw::imgproc::decode_ppm;
+using ncsw::imgproc::encode_ppm;
+using ncsw::imgproc::Image;
+using ncsw::imgproc::resize_bilinear;
+using ncsw::imgproc::to_tensor_f16;
+using ncsw::imgproc::to_tensor_f32;
+
+Image random_image(int w, int h, std::uint64_t seed) {
+  ncsw::util::Xoshiro256 rng(seed);
+  Image img(w, h);
+  for (auto& p : img.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  }
+  return img;
+}
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.byte_size(), 36u);
+  img.at(2, 1, 0) = 200;
+  EXPECT_EQ(img.at(2, 1, 0), 200);
+  EXPECT_EQ(img.pixels()[(1 * 4 + 2) * 3 + 0], 200);
+}
+
+TEST(Image, InvalidDimensionsThrow) {
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+  EXPECT_THROW(Image(5, -1), std::invalid_argument);
+}
+
+TEST(Ppm, EncodeDecodeRoundTrip) {
+  const Image img = random_image(13, 7, 42);
+  const auto bytes = encode_ppm(img);
+  const Image back = decode_ppm(bytes);
+  EXPECT_EQ(back.width(), 13);
+  EXPECT_EQ(back.height(), 7);
+  EXPECT_EQ(back.pixels(), img.pixels());
+}
+
+TEST(Ppm, HeaderFormat) {
+  const Image img(2, 1);
+  const auto bytes = encode_ppm(img);
+  const std::string head(bytes.begin(), bytes.begin() + 11);
+  EXPECT_EQ(head, "P6\n2 1\n255\n");
+}
+
+TEST(Ppm, DecodeAcceptsCommentsAndWhitespace) {
+  const std::string text = "P6 # a comment\n# another\n  2\t1 \n255\nabcdef";
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  const Image img = decode_ppm(bytes);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_EQ(img.at(0, 0, 0), 'a');
+  EXPECT_EQ(img.at(1, 0, 2), 'f');
+}
+
+TEST(Ppm, RejectsBadMagic) {
+  const std::string text = "P5\n1 1\n255\nabc";
+  EXPECT_THROW(decode_ppm({text.begin(), text.end()}), std::runtime_error);
+}
+
+TEST(Ppm, RejectsTruncatedRaster) {
+  const std::string text = "P6\n2 2\n255\nabc";
+  EXPECT_THROW(decode_ppm({text.begin(), text.end()}), std::runtime_error);
+}
+
+TEST(Ppm, RejectsNonsenseDimensions) {
+  const std::string text = "P6\n-3 2\n255\nabcdef";
+  EXPECT_THROW(decode_ppm({text.begin(), text.end()}), std::runtime_error);
+}
+
+TEST(Ppm, RejectsUnsupportedMaxval) {
+  const std::string text = "P6\n1 1\n65535\nabcdef";
+  EXPECT_THROW(decode_ppm({text.begin(), text.end()}), std::runtime_error);
+}
+
+TEST(Ppm, SaveLoadFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ncsw_test.ppm").string();
+  const Image img = random_image(5, 5, 7);
+  ncsw::imgproc::save_ppm(img, path);
+  const Image back = ncsw::imgproc::load_ppm(path);
+  EXPECT_EQ(back.pixels(), img.pixels());
+  std::filesystem::remove(path);
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  const Image img = random_image(8, 6, 3);
+  const Image out = resize_bilinear(img, 8, 6);
+  EXPECT_EQ(out.pixels(), img.pixels());
+}
+
+TEST(Resize, ConstantImageStaysConstant) {
+  Image img(10, 10);
+  for (auto& p : img.pixels()) p = 77;
+  const Image out = resize_bilinear(img, 4, 7);
+  for (auto p : out.pixels()) EXPECT_EQ(p, 77);
+}
+
+TEST(Resize, DownThenUpPreservesSmoothGradient) {
+  // A horizontal gradient survives resize round trips approximately.
+  Image img(64, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        img.at(x, y, c) = static_cast<std::uint8_t>(x * 4);
+      }
+    }
+  }
+  const Image small = resize_bilinear(img, 32, 8);
+  const Image back = resize_bilinear(small, 64, 16);
+  EXPECT_LT(ncsw::imgproc::mean_abs_pixel_diff(img, back), 4.0);
+}
+
+TEST(Resize, UpscaleDimensions) {
+  const Image img = random_image(3, 3, 9);
+  const Image out = resize_bilinear(img, 9, 5);
+  EXPECT_EQ(out.width(), 9);
+  EXPECT_EQ(out.height(), 5);
+}
+
+TEST(Resize, RejectsBadArguments) {
+  const Image img = random_image(4, 4, 1);
+  EXPECT_THROW(resize_bilinear(img, 0, 4), std::invalid_argument);
+  EXPECT_THROW(resize_bilinear(Image{}, 4, 4), std::invalid_argument);
+}
+
+TEST(Crop, CenterCropTakesMiddle) {
+  Image img(4, 4);
+  img.at(1, 1, 0) = 11;
+  img.at(2, 2, 1) = 22;
+  const Image out = center_crop(img, 2, 2);
+  EXPECT_EQ(out.width(), 2);
+  EXPECT_EQ(out.at(0, 0, 0), 11);
+  EXPECT_EQ(out.at(1, 1, 1), 22);
+}
+
+TEST(Crop, RejectsOversizedCrop) {
+  const Image img = random_image(4, 4, 2);
+  EXPECT_THROW(center_crop(img, 5, 2), std::invalid_argument);
+}
+
+TEST(ToTensor, ShapeAndMeanSubtraction) {
+  Image img(2, 2);
+  for (auto& p : img.pixels()) p = 100;
+  const ChannelMeans means{10.0f, 20.0f, 30.0f};
+  const auto t = to_tensor_f32(img, means);
+  EXPECT_EQ(t.shape(), (ncsw::tensor::Shape{1, 3, 2, 2}));
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0, 0), 90.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1, 0, 0), 80.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 2, 1, 1), 70.0f);
+}
+
+TEST(ToTensor, ChwLayoutOrder) {
+  Image img(2, 1);
+  img.at(0, 0, 0) = 1;  // R of pixel 0
+  img.at(1, 0, 0) = 2;  // R of pixel 1
+  img.at(0, 0, 2) = 9;  // B of pixel 0
+  const auto t = to_tensor_f32(img, ChannelMeans{0, 0, 0});
+  EXPECT_FLOAT_EQ(t[0], 1.0f);  // R plane first
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+  EXPECT_FLOAT_EQ(t[4], 9.0f);  // B plane last
+}
+
+TEST(ToTensor, Fp16MatchesRoundedFp32) {
+  const Image img = random_image(4, 4, 11);
+  const auto f = to_tensor_f32(img);
+  const auto h = to_tensor_f16(img);
+  for (std::int64_t i = 0; i < f.numel(); ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float>(h[i]),
+                    ncsw::fp16::round_to_half(f[i]));
+  }
+}
+
+TEST(MeanAbsPixelDiff, ZeroForIdentical) {
+  const Image img = random_image(6, 6, 5);
+  EXPECT_EQ(ncsw::imgproc::mean_abs_pixel_diff(img, img), 0.0);
+}
+
+TEST(MeanAbsPixelDiff, SizeMismatchThrows) {
+  EXPECT_THROW(ncsw::imgproc::mean_abs_pixel_diff(Image(2, 2), Image(3, 2)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,338 @@
+#include "nn/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace ncsw::nn;
+using ncsw::fp16::half;
+using ncsw::tensor::Shape;
+using ncsw::tensor::Tensor;
+using ncsw::tensor::TensorF;
+
+TensorF random_tensor(const Shape& s, std::uint64_t seed) {
+  ncsw::util::Xoshiro256 rng(seed);
+  TensorF t(s);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+// Direct (non-im2col) convolution reference.
+TensorF conv_ref(const TensorF& in, const LayerParams<float>& p,
+                 const ConvParams& cp) {
+  const Shape& is = in.shape();
+  const std::int64_t oh = conv_extent(is.h, cp.kernel, cp.stride, cp.pad);
+  const std::int64_t ow = conv_extent(is.w, cp.kernel, cp.stride, cp.pad);
+  TensorF out(Shape{is.n, cp.out_channels, oh, ow});
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    for (std::int64_t oc = 0; oc < cp.out_channels; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          double acc = p.b[oc];
+          for (std::int64_t ic = 0; ic < is.c; ++ic) {
+            for (int ky = 0; ky < cp.kernel; ++ky) {
+              for (int kx = 0; kx < cp.kernel; ++kx) {
+                const std::int64_t iy = oy * cp.stride - cp.pad + ky;
+                const std::int64_t ix = ox * cp.stride - cp.pad + kx;
+                if (iy < 0 || iy >= is.h || ix < 0 || ix >= is.w) continue;
+                acc += static_cast<double>(in.at(b, ic, iy, ix)) *
+                       p.w.at(oc, ic, ky, kx);
+              }
+            }
+          }
+          out.at(b, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  int in_c, h, w, out_c, kernel, stride, pad, batch;
+};
+
+class ConvParamTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParamTest, Im2colMatchesDirectConvolution) {
+  const ConvCase c = GetParam();
+  const TensorF in = random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, 11);
+  LayerParams<float> p;
+  p.w = random_tensor(Shape{c.out_c, c.in_c, c.kernel, c.kernel}, 12);
+  p.b = random_tensor(Shape{1, c.out_c, 1, 1}, 13);
+  const ConvParams cp{c.out_c, c.kernel, c.stride, c.pad};
+  TensorF out;
+  kernels::conv2d(in, p, cp, out);
+  const TensorF ref = conv_ref(in, p, cp);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_LT(ncsw::tensor::max_abs_diff(out, ref), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvParamTest,
+    ::testing::Values(ConvCase{1, 5, 5, 1, 3, 1, 0, 1},
+                      ConvCase{3, 8, 8, 4, 3, 1, 1, 1},
+                      ConvCase{2, 9, 7, 5, 5, 2, 2, 1},
+                      ConvCase{4, 6, 6, 8, 1, 1, 0, 2},
+                      ConvCase{3, 12, 12, 6, 7, 2, 3, 2},
+                      ConvCase{1, 4, 4, 2, 4, 4, 0, 1}));
+
+TEST(Conv, RejectsWrongWeightShape) {
+  const TensorF in = random_tensor(Shape{1, 3, 8, 8}, 1);
+  LayerParams<float> p;
+  p.w = TensorF(Shape{4, 3, 5, 5});
+  p.b = TensorF(Shape{1, 4, 1, 1});
+  TensorF out;
+  EXPECT_THROW(kernels::conv2d(in, p, ConvParams{4, 3, 1, 1}, out),
+               std::invalid_argument);
+}
+
+TEST(Conv, Fp16PathCloseToFp32) {
+  const TensorF in = random_tensor(Shape{1, 3, 10, 10}, 21);
+  LayerParams<float> pf;
+  pf.w = random_tensor(Shape{4, 3, 3, 3}, 22);
+  pf.b = random_tensor(Shape{1, 4, 1, 1}, 23);
+  LayerParams<half> ph;
+  ph.w = ncsw::tensor::tensor_cast<half>(pf.w);
+  ph.b = ncsw::tensor::tensor_cast<half>(pf.b);
+  const ConvParams cp{4, 3, 1, 1};
+  TensorF out_f;
+  kernels::conv2d(in, pf, cp, out_f);
+  Tensor<half> out_h;
+  kernels::conv2d(ncsw::tensor::tensor_cast<half>(in), ph, cp, out_h);
+  EXPECT_LT(ncsw::tensor::max_abs_diff(out_f, out_h), 0.02);
+}
+
+TEST(Relu, ClampsNegatives) {
+  TensorF t(Shape{1, 1, 1, 4});
+  t[0] = -1.0f;
+  t[1] = 0.0f;
+  t[2] = 2.5f;
+  t[3] = -0.0001f;
+  kernels::relu(t);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], 0.0f);
+  EXPECT_EQ(t[2], 2.5f);
+  EXPECT_EQ(t[3], 0.0f);
+}
+
+TEST(MaxPool, HandComputedCase) {
+  // 4x4 single channel, 2x2/2 pooling.
+  TensorF in(Shape{1, 1, 4, 4});
+  for (int i = 0; i < 16; ++i) in[i] = static_cast<float>(i);
+  TensorF out;
+  kernels::max_pool(in, PoolParams{2, 2, 0, true, false}, out);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out[0], 5.0f);
+  EXPECT_EQ(out[1], 7.0f);
+  EXPECT_EQ(out[2], 13.0f);
+  EXPECT_EQ(out[3], 15.0f);
+}
+
+TEST(MaxPool, PaddingNeverWins) {
+  // All-negative input with padding: padded zeros must not appear.
+  TensorF in(Shape{1, 1, 3, 3}, -5.0f);
+  TensorF out;
+  kernels::max_pool(in, PoolParams{3, 2, 1, true, false}, out);
+  for (std::int64_t i = 0; i < out.numel(); ++i) EXPECT_EQ(out[i], -5.0f);
+}
+
+TEST(MaxPool, CeilModeProducesExtraWindow) {
+  TensorF in(Shape{1, 1, 5, 5}, 1.0f);
+  TensorF out_ceil, out_floor;
+  kernels::max_pool(in, PoolParams{2, 2, 0, true, false}, out_ceil);
+  kernels::max_pool(in, PoolParams{2, 2, 0, false, false}, out_floor);
+  EXPECT_EQ(out_ceil.shape().h, 3);
+  EXPECT_EQ(out_floor.shape().h, 2);
+}
+
+TEST(MaxPool, GlobalReducesToOnePixel) {
+  TensorF in = random_tensor(Shape{2, 3, 5, 7}, 31);
+  PoolParams p;
+  p.global = true;
+  TensorF out;
+  kernels::max_pool(in, p, out);
+  ASSERT_EQ(out.shape(), (Shape{2, 3, 1, 1}));
+  // Verify channel 1 of batch 1.
+  float best = -1e30f;
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 7; ++x) best = std::max(best, in.at(1, 1, y, x));
+  }
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0, 0), best);
+}
+
+TEST(AvgPool, SimpleAverage) {
+  TensorF in(Shape{1, 1, 2, 2});
+  in[0] = 1;
+  in[1] = 2;
+  in[2] = 3;
+  in[3] = 4;
+  TensorF out;
+  kernels::avg_pool(in, PoolParams{2, 2, 0, true, false}, out);
+  ASSERT_EQ(out.numel(), 1);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(AvgPool, GlobalAverage) {
+  TensorF in = random_tensor(Shape{1, 2, 4, 4}, 5);
+  PoolParams p;
+  p.global = true;
+  TensorF out;
+  kernels::avg_pool(in, p, out);
+  double sum = 0;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) sum += in.at(0, 1, y, x);
+  }
+  EXPECT_NEAR(out.at(0, 1, 0, 0), sum / 16.0, 1e-5);
+}
+
+TEST(AvgPool, CaffePaddedDivisorCountsPadCells) {
+  // 2x2 input, 2x2 kernel, stride 2, pad 1 (ceil) -> 2x2 output. The
+  // corner window covers 1 real cell + 3 padded cells; Caffe divides by 4.
+  TensorF in(Shape{1, 1, 2, 2}, 8.0f);
+  TensorF out;
+  kernels::avg_pool(in, PoolParams{2, 2, 1, true, false}, out);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 2.0f);  // 8 / 4
+}
+
+TEST(Lrn, MatchesClosedForm) {
+  TensorF in(Shape{1, 3, 1, 1});
+  in[0] = 1.0f;
+  in[1] = 2.0f;
+  in[2] = 3.0f;
+  const LRNParams p{3, 0.5f, 0.75f, 2.0f};
+  TensorF out;
+  kernels::lrn(in, p, out);
+  // Channel 1 window covers all three channels: sumsq = 14.
+  const float scale = 2.0f + 0.5f / 3.0f * 14.0f;
+  EXPECT_NEAR(out[1], 2.0f / std::pow(scale, 0.75f), 1e-5);
+  // Channel 0 window covers channels 0..1: sumsq = 5.
+  const float scale0 = 2.0f + 0.5f / 3.0f * 5.0f;
+  EXPECT_NEAR(out[0], 1.0f / std::pow(scale0, 0.75f), 1e-5);
+}
+
+TEST(Lrn, UnitParamsNearIdentityForSmallInputs) {
+  TensorF in(Shape{1, 4, 2, 2}, 1e-3f);
+  TensorF out;
+  kernels::lrn(in, LRNParams{5, 1e-4f, 0.75f, 1.0f}, out);
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    EXPECT_NEAR(out[i], in[i], 1e-6);
+  }
+}
+
+TEST(Concat, OrderedChannelStacking) {
+  TensorF a(Shape{1, 1, 2, 2}, 1.0f);
+  TensorF b(Shape{1, 2, 2, 2}, 2.0f);
+  TensorF out;
+  kernels::concat({&a, &b}, out);
+  ASSERT_EQ(out.shape(), (Shape{1, 3, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(out.at(0, 1, 1, 1), 2.0f);
+  EXPECT_EQ(out.at(0, 2, 0, 1), 2.0f);
+}
+
+TEST(Concat, BatchedCopiesPerItem) {
+  TensorF a(Shape{2, 1, 1, 1});
+  a[0] = 1;
+  a[1] = 2;
+  TensorF b(Shape{2, 1, 1, 1});
+  b[0] = 3;
+  b[1] = 4;
+  TensorF out;
+  kernels::concat({&a, &b}, out);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 1);
+  EXPECT_EQ(out.at(0, 1, 0, 0), 3);
+  EXPECT_EQ(out.at(1, 0, 0, 0), 2);
+  EXPECT_EQ(out.at(1, 1, 0, 0), 4);
+}
+
+TEST(Concat, MismatchThrows) {
+  TensorF a(Shape{1, 1, 2, 2});
+  TensorF b(Shape{1, 1, 3, 2});
+  TensorF out;
+  EXPECT_THROW(kernels::concat({&a, &b}, out), std::invalid_argument);
+  EXPECT_THROW(kernels::concat(std::vector<const TensorF*>{}, out),
+               std::invalid_argument);
+}
+
+TEST(Fc, MatchesManualDotProduct) {
+  TensorF in(Shape{1, 1, 1, 3});
+  in[0] = 1;
+  in[1] = 2;
+  in[2] = 3;
+  LayerParams<float> p;
+  p.w = TensorF(Shape{2, 3, 1, 1});
+  // Row 0: [1,0,0]; row 1: [0.5, 0.5, 0.5]
+  p.w[0] = 1;
+  p.w[3] = 0.5f;
+  p.w[4] = 0.5f;
+  p.w[5] = 0.5f;
+  p.b = TensorF(Shape{1, 2, 1, 1});
+  p.b[1] = 10.0f;
+  TensorF out;
+  kernels::fully_connected(in, p, FCParams{2}, out);
+  ASSERT_EQ(out.shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 13.0f);
+}
+
+TEST(Fc, WrongWeightShapeThrows) {
+  TensorF in(Shape{1, 1, 1, 3});
+  LayerParams<float> p;
+  p.w = TensorF(Shape{2, 4, 1, 1});
+  p.b = TensorF(Shape{1, 2, 1, 1});
+  TensorF out;
+  EXPECT_THROW(kernels::fully_connected(in, p, FCParams{2}, out),
+               std::invalid_argument);
+}
+
+TEST(Softmax, SumsToOneAndOrdersPreserved) {
+  TensorF in(Shape{2, 4, 1, 1});
+  in[0] = 1;
+  in[1] = 2;
+  in[2] = 3;
+  in[3] = 0;
+  in[4] = -1;
+  in[5] = -1;
+  in[6] = -1;
+  in[7] = 5;
+  TensorF out;
+  kernels::softmax(in, out);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    double sum = 0;
+    for (std::int64_t c = 0; c < 4; ++c) sum += out.at(b, c, 0, 0);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  EXPECT_GT(out[2], out[1]);
+  EXPECT_GT(out[1], out[0]);
+  EXPECT_GT(out.at(1, 3, 0, 0), 0.9f);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  TensorF in(Shape{1, 2, 1, 1});
+  in[0] = 10000.0f;
+  in[1] = 9999.0f;
+  TensorF out;
+  kernels::softmax(in, out);
+  EXPECT_NEAR(out[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-5);
+  EXPECT_FALSE(std::isnan(out[0]));
+}
+
+TEST(Softmax, Fp16OutputStillNormalised) {
+  Tensor<half> in(Shape{1, 8, 1, 1});
+  for (int i = 0; i < 8; ++i) in[i] = half(static_cast<float>(i) * 0.25f);
+  Tensor<half> out;
+  kernels::softmax(in, out);
+  double sum = 0;
+  for (int i = 0; i < 8; ++i) sum += static_cast<float>(out[i]);
+  EXPECT_NEAR(sum, 1.0, 5e-3);  // FP16 rounding tolerance
+}
+
+}  // namespace

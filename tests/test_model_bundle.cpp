@@ -1,0 +1,78 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/executor.h"
+
+namespace {
+
+using ncsw::core::ModelBundle;
+
+TEST(ModelBundle, GoogLeNetReferenceIsTimingOnly) {
+  const auto bundle = ModelBundle::googlenet_reference();
+  EXPECT_FALSE(bundle->functional());
+  EXPECT_EQ(bundle->graph.name(), "bvlc_googlenet");
+  EXPECT_EQ(bundle->input_size(), 224);
+  EXPECT_EQ(bundle->num_classes(), 1000);
+  EXPECT_GT(bundle->macs, 1'000'000'000);
+  EXPECT_FALSE(bundle->graph_blob.empty());
+  // The blob parses back to the same compiled graph.
+  const auto parsed = ncsw::graphc::deserialize(bundle->graph_blob);
+  EXPECT_EQ(parsed.total_macs(), bundle->compiled_f16.total_macs());
+  EXPECT_EQ(parsed.precision, ncsw::graphc::Precision::kFP16);
+}
+
+TEST(ModelBundle, TinyFunctionalCarriesBothPrecisions) {
+  ncsw::dataset::DatasetConfig cfg;
+  cfg.num_classes = 8;
+  cfg.image_size = 40;
+  const ncsw::dataset::SyntheticImageNet data(cfg);
+  const auto bundle = ModelBundle::tiny_functional(data, {32, 8});
+  EXPECT_TRUE(bundle->functional());
+  EXPECT_EQ(bundle->num_classes(), 8);
+  EXPECT_EQ(bundle->input_size(), 32);
+  EXPECT_EQ(bundle->weights_f32.size(), bundle->weights_f16.size());
+  // FP16 weights are the rounded FP32 master copy.
+  const auto& pf = bundle->weights_f32.at("conv1/7x7_s2");
+  const auto& ph = bundle->weights_f16.at("conv1/7x7_s2");
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(pf.w.numel(), 50); ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float>(ph.w[i]),
+                    ncsw::fp16::round_to_half(pf.w[i]));
+  }
+}
+
+TEST(ModelBundle, TinyFunctionalClassifiesPrototypesPerfectly) {
+  ncsw::dataset::DatasetConfig cfg;
+  cfg.num_classes = 6;
+  cfg.image_size = 40;
+  const ncsw::dataset::SyntheticImageNet data(cfg);
+  const auto bundle = ModelBundle::tiny_functional(data, {32, 6});
+  const auto protos = data.prototype_tensors(32);
+  for (int c = 0; c < 6; ++c) {
+    const auto probs = ncsw::nn::run_probabilities(
+        bundle->graph, bundle->weights_f32, protos[c]);
+    EXPECT_EQ(ncsw::nn::argmax_per_item(probs)[0], c);
+  }
+}
+
+TEST(ModelBundle, ClassCountFollowsDataset) {
+  ncsw::dataset::DatasetConfig cfg;
+  cfg.num_classes = 12;
+  const ncsw::dataset::SyntheticImageNet data(cfg);
+  // Even if the caller passes a different class count, the dataset wins.
+  const auto bundle = ModelBundle::tiny_functional(data, {32, 999});
+  EXPECT_EQ(bundle->num_classes(), 12);
+}
+
+TEST(ModelBundle, DifferentSeedsGiveDifferentFeatureWeights) {
+  ncsw::dataset::DatasetConfig cfg;
+  cfg.num_classes = 4;
+  const ncsw::dataset::SyntheticImageNet data(cfg);
+  const auto a = ModelBundle::tiny_functional(data, {32, 4}, 1);
+  const auto b = ModelBundle::tiny_functional(data, {32, 4}, 2);
+  const auto& wa = a->weights_f32.at("conv1/7x7_s2").w;
+  const auto& wb = b->weights_f32.at("conv1/7x7_s2").w;
+  EXPECT_GT(ncsw::tensor::max_abs_diff(wa, wb), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using ncsw::util::hash_mix;
+using ncsw::util::SplitMix64;
+using ncsw::util::Xoshiro256;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(HashMix, IsDeterministic) {
+  EXPECT_EQ(hash_mix(7, 9), hash_mix(7, 9));
+}
+
+TEST(HashMix, NearbyKeysDecorrelate) {
+  // Consecutive keys must not produce consecutive outputs.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t k = 0; k < 1000; ++k) outs.insert(hash_mix(5, k));
+  EXPECT_EQ(outs.size(), 1000u);  // no collisions among 1000 keys
+}
+
+TEST(HashMix, SeedChangesOutput) {
+  EXPECT_NE(hash_mix(1, 100), hash_mix(2, 100));
+}
+
+TEST(Xoshiro, Reproducible) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, ReseedRestartsSequence) {
+  Xoshiro256 a(9);
+  const auto first = a.next();
+  a.next();
+  a.reseed(9);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsHalf) {
+  Xoshiro256 rng(31337);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Xoshiro, NormalMomentsMatch) {
+  Xoshiro256 rng(99);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro, NormalScaled) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+class UniformBoundParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformBoundParam, Uniform64StaysBelowBound) {
+  const std::uint64_t bound = GetParam();
+  Xoshiro256 rng(bound ^ 0xabcdef);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformBoundParam,
+                         ::testing::Values(1ull, 2ull, 3ull, 7ull, 10ull,
+                                           1000ull, 1ull << 32,
+                                           (1ull << 63) + 12345ull));
+
+TEST(Xoshiro, Uniform64CoversSmallRangeUniformly) {
+  Xoshiro256 rng(2024);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Xoshiro, UniformIntInclusiveBounds) {
+  Xoshiro256 rng(404);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ull);
+  Xoshiro256 rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace

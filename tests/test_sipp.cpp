@@ -1,0 +1,221 @@
+#include "sipp/filters.h"
+#include "sipp/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace ncsw::sipp;
+
+Plane constant_plane(int w, int h, float v) {
+  Plane p(w, h);
+  for (auto& x : p.data) x = v;
+  return p;
+}
+
+// A bright axis-aligned square on dark background: four sharp corners.
+Plane corner_plane(int size, int lo, int hi) {
+  Plane p(size, size);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const bool inside = x >= lo && x < hi && y >= lo && y < hi;
+      p.at(x, y) = inside ? 200.0f : 20.0f;
+    }
+  }
+  return p;
+}
+
+TEST(Luma, WeightsSumToOne) {
+  ncsw::imgproc::Image img(2, 1);
+  for (int c = 0; c < 3; ++c) img.at(0, 0, c) = 100;
+  img.at(1, 0, 0) = 255;  // pure red
+  const Plane luma = to_luma(img);
+  EXPECT_NEAR(luma.at(0, 0), 100.0f, 0.1f);
+  EXPECT_NEAR(luma.at(1, 0), 255.0f * 0.299f, 0.1f);
+}
+
+TEST(ToneMap, IdentityAtGammaOne) {
+  const Plane in = corner_plane(8, 2, 6);
+  const Plane out = tone_map(in, 1.0f);
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    EXPECT_NEAR(out.data[i], in.data[i], 1e-3f);
+  }
+}
+
+TEST(ToneMap, GammaBelowOneBrightens) {
+  const Plane in = constant_plane(4, 4, 64.0f);
+  const Plane out = tone_map(in, 0.5f);
+  EXPECT_GT(out.at(0, 0), in.at(0, 0));
+  // Endpoints are fixed.
+  Plane ends(2, 1);
+  ends.at(0, 0) = 0.0f;
+  ends.at(1, 0) = 255.0f;
+  const Plane mapped = tone_map(ends, 0.5f);
+  EXPECT_NEAR(mapped.at(0, 0), 0.0f, 1e-3f);
+  EXPECT_NEAR(mapped.at(1, 0), 255.0f, 1e-2f);
+}
+
+TEST(ToneMap, RejectsBadGamma) {
+  EXPECT_THROW(tone_map(constant_plane(2, 2, 1.0f), 0.0f),
+               std::invalid_argument);
+}
+
+TEST(Denoise, PreservesConstantPlanes) {
+  const Plane in = constant_plane(9, 7, 123.0f);
+  const Plane out = denoise5x5(in);
+  for (float v : out.data) EXPECT_NEAR(v, 123.0f, 1e-3f);
+}
+
+TEST(Denoise, ReducesNoiseVariance) {
+  Plane in(32, 32);
+  ncsw::util::Xoshiro256 rng(5);
+  for (auto& v : in.data) {
+    v = 128.0f + static_cast<float>(rng.normal(0.0, 20.0));
+  }
+  const Plane out = denoise5x5(in);
+  auto variance = [](const Plane& p) {
+    double mean = 0;
+    for (float v : p.data) mean += v;
+    mean /= static_cast<double>(p.data.size());
+    double var = 0;
+    for (float v : p.data) var += (v - mean) * (v - mean);
+    return var / static_cast<double>(p.data.size());
+  };
+  EXPECT_LT(variance(out), variance(in) * 0.25);
+}
+
+TEST(Sobel, FlatRegionsHaveZeroGradient) {
+  const Plane in = constant_plane(8, 8, 50.0f);
+  const Plane mag = sobel_magnitude(in);
+  for (float v : mag.data) EXPECT_NEAR(v, 0.0f, 1e-4f);
+}
+
+TEST(Sobel, VerticalEdgeDetected) {
+  Plane in(10, 10);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) in.at(x, y) = x < 5 ? 0.0f : 100.0f;
+  }
+  const Plane mag = sobel_magnitude(in);
+  // Strongest response along the edge columns, zero far away.
+  EXPECT_GT(mag.at(4, 5), 100.0f);
+  EXPECT_GT(mag.at(5, 5), 100.0f);
+  EXPECT_NEAR(mag.at(1, 5), 0.0f, 1e-3f);
+  EXPECT_NEAR(mag.at(8, 5), 0.0f, 1e-3f);
+}
+
+TEST(Harris, FindsTheFourSquareCorners) {
+  const Plane in = corner_plane(24, 8, 16);
+  const Plane resp = harris_response(in);
+  float max_resp = 0;
+  for (float v : resp.data) max_resp = std::max(max_resp, v);
+  const auto peaks = corner_peaks(resp, max_resp * 0.2f);
+  ASSERT_GE(peaks.size(), 4u);
+  // All strong peaks cluster near the four corners of the square.
+  for (const auto& [x, y] : peaks) {
+    const bool near_corner =
+        (std::abs(x - 8) <= 2 || std::abs(x - 15) <= 2) &&
+        (std::abs(y - 8) <= 2 || std::abs(y - 15) <= 2);
+    EXPECT_TRUE(near_corner) << "peak at " << x << "," << y;
+  }
+}
+
+TEST(Harris, EdgesScoreNegativeOrSmall) {
+  Plane in(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) in.at(x, y) = x < 8 ? 0.0f : 100.0f;
+  }
+  const Plane resp = harris_response(in);
+  // Mid-edge is a classic "edge, not corner": response <= 0.
+  EXPECT_LE(resp.at(8, 8), 1.0f);
+}
+
+TEST(CornerPeaks, ThresholdAndLocalMaxima) {
+  Plane resp(5, 5);
+  resp.at(2, 2) = 10.0f;
+  resp.at(1, 1) = 4.0f;
+  const auto peaks = corner_peaks(resp, 5.0f);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], std::make_pair(2, 2));
+}
+
+TEST(PlaneImage, RoundTripClamped) {
+  Plane p(3, 1);
+  p.at(0, 0) = -5.0f;
+  p.at(1, 0) = 127.6f;
+  p.at(2, 0) = 300.0f;
+  const auto img = to_image(p);
+  EXPECT_EQ(img.at(0, 0, 0), 0);
+  EXPECT_EQ(img.at(1, 0, 1), 128);
+  EXPECT_EQ(img.at(2, 0, 2), 255);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline model
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, EmptyRunRejected) {
+  SippPipeline p;
+  EXPECT_THROW(p.run(constant_plane(4, 4, 1.0f)), std::logic_error);
+}
+
+TEST(Pipeline, FunctionalChainEqualsManualComposition) {
+  auto pipeline = make_vision_frontend();
+  EXPECT_EQ(pipeline.stages(), 3u);
+  const Plane in = corner_plane(20, 6, 14);
+  const Plane chained = pipeline.run(in);
+  const Plane manual = harris_response(tone_map(denoise5x5(in), 0.8f));
+  ASSERT_EQ(chained.data.size(), manual.data.size());
+  for (std::size_t i = 0; i < chained.data.size(); ++i) {
+    EXPECT_NEAR(chained.data[i], manual.data[i], 1e-3f);
+  }
+}
+
+TEST(Pipeline, OnePixelPerCycleTiming) {
+  auto pipeline = make_vision_frontend();
+  SippStats stats;
+  pipeline.run(constant_plane(640, 480, 10.0f), &stats);
+  const std::uint64_t pixels = 640ull * 480ull;
+  const std::uint64_t fill = 3ull * 5ull * 640ull;
+  EXPECT_EQ(stats.cycles, pixels + fill);
+  EXPECT_NEAR(stats.time_s,
+              static_cast<double>(pixels + fill) / 600e6, 1e-9);
+  EXPECT_GT(stats.mpixels_per_s, 500.0);  // ~600 Mpix/s at 600 MHz
+  EXPECT_GT(stats.energy_j, 0.0);
+  EXPECT_LT(stats.avg_power_w, 0.2);  // a few filter islands
+}
+
+TEST(Pipeline, HardwareBeatsShaveSoftwareByAnOrderOfMagnitude) {
+  auto pipeline = make_vision_frontend();
+  SippStats stats;
+  pipeline.run(constant_plane(640, 480, 10.0f), &stats);
+  const double sw = pipeline.shave_software_time_s(640, 480, {});
+  EXPECT_GT(sw / stats.time_s, 10.0);
+}
+
+TEST(Pipeline, StageSizeMismatchDetected) {
+  SippPipeline p;
+  p.add_stage("bad",
+              [](const Plane& in) { return Plane(in.width + 1, in.height); },
+              1);
+  EXPECT_THROW(p.run(constant_plane(4, 4, 1.0f)), std::logic_error);
+}
+
+TEST(Pipeline, AddStageValidation) {
+  SippPipeline p;
+  EXPECT_THROW(p.add_stage("x", nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(
+      p.add_stage("x", [](const Plane& in) { return in; }, 0),
+      std::invalid_argument);
+}
+
+TEST(Pipeline, ConfigValidation) {
+  SippConfig cfg;
+  cfg.clock_hz = 0;
+  EXPECT_THROW(SippPipeline{cfg}, std::invalid_argument);
+}
+
+}  // namespace

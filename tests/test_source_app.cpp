@@ -1,0 +1,351 @@
+#include "core/application.h"
+#include "core/source.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "core/host_target.h"
+#include "imgproc/ppm.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ncsw::core;
+
+std::shared_ptr<const ncsw::dataset::SyntheticImageNet> small_dataset() {
+  ncsw::dataset::DatasetConfig cfg;
+  cfg.num_classes = 6;
+  cfg.image_size = 24;
+  cfg.subsets = 2;
+  cfg.images_per_subset = 12;
+  return std::make_shared<ncsw::dataset::SyntheticImageNet>(cfg);
+}
+
+TEST(ImageFolderSource, IteratesOneSubsetInOrder) {
+  auto data = small_dataset();
+  ImageFolderSource src(data, 1);
+  EXPECT_EQ(src.size(), 12);
+  int count = 0;
+  while (auto item = src.next()) {
+    EXPECT_EQ(item->label, data->label_of(1, count));
+    EXPECT_EQ(item->id, "Set-2/" + std::to_string(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 12);
+}
+
+TEST(ImageFolderSource, WholeDatasetMode) {
+  ImageFolderSource src(small_dataset(), -1);
+  EXPECT_EQ(src.size(), 24);
+  int count = 0;
+  while (src.next()) ++count;
+  EXPECT_EQ(count, 24);
+}
+
+TEST(ImageFolderSource, LimitTruncates) {
+  ImageFolderSource src(small_dataset(), 0, 5);
+  EXPECT_EQ(src.size(), 5);
+  int count = 0;
+  while (src.next()) ++count;
+  EXPECT_EQ(count, 5);
+}
+
+TEST(ImageFolderSource, ResetRestarts) {
+  ImageFolderSource src(small_dataset(), 0, 3);
+  while (src.next()) {
+  }
+  EXPECT_FALSE(src.next().has_value());
+  src.reset();
+  EXPECT_TRUE(src.next().has_value());
+}
+
+TEST(ImageFolderSource, RejectsBadArguments) {
+  EXPECT_THROW(ImageFolderSource(nullptr, 0), std::invalid_argument);
+  EXPECT_THROW(ImageFolderSource(small_dataset(), 7), std::invalid_argument);
+  EXPECT_THROW(ImageFolderSource(small_dataset(), -2), std::invalid_argument);
+}
+
+TEST(DirectorySource, ReadsPpmFilesSorted) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "ncsw_src_test";
+  fs::create_directories(dir);
+  ncsw::imgproc::Image img(4, 4);
+  ncsw::imgproc::save_ppm(img, (dir / "b.ppm").string());
+  ncsw::imgproc::save_ppm(img, (dir / "a.ppm").string());
+  ncsw::util::write_file((dir / "ignored.txt").string(), "x");
+
+  DirectorySource src(dir.string());
+  EXPECT_EQ(src.size(), 2);
+  auto first = src.next();
+  ASSERT_TRUE(first);
+  EXPECT_NE(first->id.find("a.ppm"), std::string::npos);
+  EXPECT_EQ(first->label, -1);
+  auto second = src.next();
+  EXPECT_NE(second->id.find("b.ppm"), std::string::npos);
+  EXPECT_FALSE(src.next().has_value());
+  fs::remove_all(dir);
+}
+
+TEST(DirectorySource, RejectsMissingDirectory) {
+  EXPECT_THROW(DirectorySource("/nonexistent-xyz"), std::invalid_argument);
+}
+
+TEST(StreamSource, DeliversProducedItemsInOrder) {
+  std::atomic<int> produced{0};
+  StreamSource src(
+      [&]() -> std::optional<SourceItem> {
+        const int i = produced.fetch_add(1);
+        if (i >= 10) return std::nullopt;
+        SourceItem item;
+        item.image = ncsw::imgproc::Image(2, 2);
+        item.label = i;
+        item.id = "stream/" + std::to_string(i);
+        return item;
+      },
+      4);
+  int count = 0;
+  while (auto item = src.next()) {
+    EXPECT_EQ(item->label, count);
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(src.size(), -1);
+}
+
+TEST(StreamSource, BoundedQueueDoesNotOverproduce) {
+  // With capacity 2 and a consumer that stops early, the producer must
+  // not run away; destruction joins cleanly.
+  std::atomic<int> produced{0};
+  {
+    StreamSource src(
+        [&]() -> std::optional<SourceItem> {
+          produced.fetch_add(1);
+          SourceItem item;
+          item.image = ncsw::imgproc::Image(2, 2);
+          return item;
+        },
+        2);
+    (void)src.next();
+  }
+  EXPECT_LT(produced.load(), 10);
+}
+
+TEST(MpiStreamSource, MergesAllRanksCompletely) {
+  const int kRanks = 3, kPerRank = 20;
+  std::vector<MpiStreamSource::Producer> producers;
+  std::vector<std::shared_ptr<std::atomic<int>>> counters;
+  for (int rank = 0; rank < kRanks; ++rank) {
+    auto counter = std::make_shared<std::atomic<int>>(0);
+    counters.push_back(counter);
+    producers.push_back([rank, counter]() -> std::optional<SourceItem> {
+      const int i = counter->fetch_add(1);
+      if (i >= kPerRank) return std::nullopt;
+      SourceItem item;
+      item.image = ncsw::imgproc::Image(2, 2);
+      item.label = rank;
+      item.id = "r" + std::to_string(rank) + "/" + std::to_string(i);
+      return item;
+    });
+  }
+  MpiStreamSource src(std::move(producers), 8);
+  EXPECT_EQ(src.ranks(), kRanks);
+  std::vector<int> per_rank(kRanks, 0);
+  while (auto item = src.next()) ++per_rank[item->label];
+  for (int rank = 0; rank < kRanks; ++rank) {
+    EXPECT_EQ(per_rank[rank], kPerRank) << rank;
+  }
+  const auto stats = src.stats();
+  EXPECT_EQ(stats.produced, kRanks * kPerRank);
+  EXPECT_EQ(stats.consumed, kRanks * kPerRank);
+  EXPECT_LE(stats.max_queue_depth, 8u + kRanks);
+}
+
+TEST(MpiStreamSource, BackpressureCountsWaits) {
+  // One fast producer, tiny queue, consumer that drains slowly enough to
+  // force at least one producer wait.
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  MpiStreamSource src(
+      {[counter]() -> std::optional<SourceItem> {
+        const int i = counter->fetch_add(1);
+        if (i >= 50) return std::nullopt;
+        SourceItem item;
+        item.image = ncsw::imgproc::Image(2, 2);
+        return item;
+      }},
+      1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int n = 0;
+  while (src.next()) ++n;
+  EXPECT_EQ(n, 50);
+  EXPECT_GT(src.stats().producer_waits, 0);
+}
+
+TEST(MpiStreamSource, ValidationAndReset) {
+  EXPECT_THROW(MpiStreamSource({}, 4), std::invalid_argument);
+  EXPECT_THROW(MpiStreamSource({MpiStreamSource::Producer{}}, 4),
+               std::invalid_argument);
+  MpiStreamSource src(
+      {[]() -> std::optional<SourceItem> { return std::nullopt; }}, 4);
+  EXPECT_THROW(src.reset(), std::logic_error);
+  EXPECT_EQ(src.size(), -1);
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(StreamSource, ResetThrows) {
+  StreamSource src([]() -> std::optional<SourceItem> { return std::nullopt; },
+                   2);
+  EXPECT_THROW(src.reset(), std::logic_error);
+}
+
+TEST(Preprocessor, ResizesAndSubtractsMeans) {
+  Preprocessor prep;
+  prep.input_size = 8;
+  prep.means = ncsw::imgproc::ChannelMeans{100, 100, 100};
+  ncsw::imgproc::Image img(16, 16);
+  for (auto& p : img.pixels()) p = 150;
+  const auto t = prep(img);
+  EXPECT_EQ(t.shape(), (ncsw::tensor::Shape{1, 3, 8, 8}));
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 50.0f);
+}
+
+TEST(ClassificationJob, Top1ErrorMath) {
+  ClassificationJob job;
+  job.target = "CPU";
+  for (int i = 0; i < 4; ++i) {
+    SourceItem item;
+    item.image = ncsw::imgproc::Image(2, 2);
+    item.label = i < 3 ? i : -1;  // last item unlabelled
+    job.items.push_back(std::move(item));
+    Prediction p;
+    p.label = (i == 1) ? 99 : i;  // one miss among the labelled
+    job.predictions.push_back(p);
+  }
+  EXPECT_EQ(job.labelled(), 3);
+  EXPECT_NEAR(job.top1_error(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ClassificationJob, NoLabelsGivesZeroError) {
+  ClassificationJob job;
+  SourceItem item;
+  item.image = ncsw::imgproc::Image(2, 2);
+  job.items.push_back(std::move(item));
+  job.predictions.push_back(Prediction{});
+  EXPECT_EQ(job.top1_error(), 0.0);
+}
+
+TEST(ConfidenceDifference, FiltersMissesAndAverages) {
+  auto make_job = [](std::vector<int> labels, std::vector<int> preds,
+                     std::vector<float> confs) {
+    ClassificationJob job;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      SourceItem item;
+      item.image = ncsw::imgproc::Image(2, 2);
+      item.label = labels[i];
+      item.id = "i" + std::to_string(i);
+      job.items.push_back(std::move(item));
+      Prediction p;
+      p.label = preds[i];
+      p.confidence = confs[i];
+      job.predictions.push_back(p);
+    }
+    return job;
+  };
+  // Item 0: both correct (diff 0.1); item 1: A misses -> filtered;
+  // item 2: both correct (diff 0.3).
+  const auto a = make_job({1, 2, 3}, {1, 9, 3}, {0.8f, 0.5f, 0.6f});
+  const auto b = make_job({1, 2, 3}, {1, 2, 3}, {0.7f, 0.5f, 0.9f});
+  EXPECT_NEAR(confidence_difference(a, b), 0.2, 1e-6);
+}
+
+TEST(ConfidenceDifference, MismatchedJobsThrow) {
+  ClassificationJob a, b;
+  SourceItem item;
+  item.image = ncsw::imgproc::Image(2, 2);
+  a.items.push_back(item);
+  a.predictions.push_back({});
+  EXPECT_THROW(confidence_difference(a, b), std::invalid_argument);
+}
+
+TEST(MakePrediction, PicksArgmax) {
+  const auto p = make_prediction({0.1f, 0.6f, 0.3f});
+  EXPECT_EQ(p.label, 1);
+  EXPECT_FLOAT_EQ(p.confidence, 0.6f);
+  EXPECT_EQ(p.probs.size(), 3u);
+}
+
+TEST(Application, EndToEndClassificationOnCpu) {
+  auto data = small_dataset();
+  auto bundle = ModelBundle::tiny_functional(*data, {32, 6});
+  Preprocessor prep;
+  prep.input_size = 32;
+  prep.means = data->means();
+  Application app(prep);
+  const auto idx = app.add_target(make_cpu_target(bundle));
+  EXPECT_EQ(app.target_count(), 1u);
+
+  ImageFolderSource src(data, 0, 8);
+  const auto job = app.run_classification(src, idx);
+  EXPECT_EQ(job.target, "CPU");
+  EXPECT_EQ(job.items.size(), 8u);
+  EXPECT_EQ(job.predictions.size(), 8u);
+  // Calibrated dataset: most predictions are right, some are not forced.
+  EXPECT_LT(job.top1_error(), 0.9);
+}
+
+TEST(ClassificationJob, TopKErrorMath) {
+  ClassificationJob job;
+  for (int i = 0; i < 3; ++i) {
+    SourceItem item;
+    item.image = ncsw::imgproc::Image(2, 2);
+    item.label = 2;
+    job.items.push_back(std::move(item));
+  }
+  // Item 0: label 2 is rank 1; item 1: rank 2; item 2: rank 3.
+  job.predictions.push_back(make_prediction({0.1f, 0.2f, 0.7f}));
+  job.predictions.push_back(make_prediction({0.1f, 0.5f, 0.4f}));
+  job.predictions.push_back(make_prediction({0.5f, 0.3f, 0.2f}));
+  EXPECT_NEAR(job.top1_error(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(job.topk_error(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(job.topk_error(2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(job.topk_error(3), 0.0, 1e-12);
+}
+
+TEST(HostTarget, BatchedClassifyMatchesPerImage) {
+  // The Caffe-style batched blob path must give the same predictions as
+  // running images one at a time (executor batching is exact).
+  auto data = small_dataset();
+  auto bundle = ModelBundle::tiny_functional(*data, {32, 6});
+  auto cpu = make_cpu_target(bundle);
+
+  Preprocessor prep;
+  prep.input_size = 32;
+  prep.means = data->means();
+  std::vector<ncsw::tensor::TensorF> inputs;
+  for (int i = 0; i < 11; ++i) {  // odd count => partial trailing batch
+    inputs.push_back(prep(data->sample(0, i).image));
+  }
+  const auto batched = cpu->classify(inputs);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto single = cpu->classify({inputs[i]});
+    EXPECT_EQ(batched[i].label, single[0].label) << i;
+    EXPECT_NEAR(batched[i].confidence, single[0].confidence, 1e-5f) << i;
+  }
+}
+
+TEST(HostTarget, ClassifyRejectsWrongShapes) {
+  auto data = small_dataset();
+  auto bundle = ModelBundle::tiny_functional(*data, {32, 6});
+  auto cpu = make_cpu_target(bundle);
+  EXPECT_THROW(
+      cpu->classify({ncsw::tensor::TensorF(ncsw::tensor::Shape{1, 3, 16, 16})}),
+      std::invalid_argument);
+}
+
+TEST(Application, RejectsNullTarget) {
+  Application app(Preprocessor{});
+  EXPECT_THROW(app.add_target(nullptr), std::invalid_argument);
+}
+
+}  // namespace

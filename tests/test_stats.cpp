@@ -1,0 +1,155 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace {
+
+using ncsw::util::percentile;
+using ncsw::util::RunningStats;
+using ncsw::util::summarize;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  ncsw::util::Xoshiro256 rng(8);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(RunningStats, StdErrShrinksWithN) {
+  RunningStats s;
+  ncsw::util::Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) s.add(rng.normal());
+  const double se100 = s.stderr_mean();
+  for (int i = 0; i < 9900; ++i) s.add(rng.normal());
+  EXPECT_LT(s.stderr_mean(), se100);
+}
+
+TEST(RunningStats, NumericallyStableOnLargeOffset) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.2502502502, 1e-4);
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats s;
+  s.add(5);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto sum = summarize(xs);
+  EXPECT_EQ(sum.n, 5u);
+  EXPECT_DOUBLE_EQ(sum.mean, 3.0);
+  EXPECT_NEAR(sum.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 5.0);
+}
+
+TEST(Percentile, EdgesAndMedian) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 300), 3.0);
+}
+
+TEST(Format, MeanStddevString) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(ncsw::util::format_mean_stddev(s, 2), "2.00 ± 1.41");
+}
+
+class PercentileMonotoneParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneParam, MonotoneInP) {
+  ncsw::util::Xoshiro256 rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal());
+  double prev = percentile(xs, 0);
+  for (int p = 5; p <= 100; p += 5) {
+    const double v = percentile(xs, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneParam,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace

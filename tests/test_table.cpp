@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using ncsw::util::Table;
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PlusMinusFormatting) {
+  EXPECT_EQ(Table::pm(77.2, 0.31, 2), "77.20 ± 0.31");
+}
+
+TEST(Table, AlignedOutputHasHeaderRule) {
+  Table t("demo");
+  t.set_header({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("a   bbbb"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("xx  y"), std::string::npos);
+}
+
+TEST(Table, RowsShorterThanHeaderArePadded) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvBasic) {
+  Table t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t;
+  t.set_header({"name"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t;
+  t.set_header({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(WriteFile, RoundTrips) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ncsw_table_test.txt";
+  ncsw::util::write_file(path.string(), "hello\nworld");
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "hello\nworld");
+  std::filesystem::remove(path);
+}
+
+TEST(WriteFile, ThrowsOnBadPath) {
+  EXPECT_THROW(ncsw::util::write_file("/nonexistent-dir-xyz/file.txt", "x"),
+               std::runtime_error);
+}
+
+}  // namespace

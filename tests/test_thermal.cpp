@@ -1,0 +1,273 @@
+#include "ncs/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include "mvnc/mvnc.h"
+#include "mvnc/sim_host.h"
+#include "nn/googlenet.h"
+
+namespace {
+
+using namespace ncsw::ncs;
+
+TEST(ThermalModel, StartsAtAmbient) {
+  ThermalModel m;
+  EXPECT_DOUBLE_EQ(m.temperature_c(), 25.0);
+  EXPECT_EQ(m.level(), ThrottleLevel::kNone);
+  EXPECT_DOUBLE_EQ(m.slowdown(), 1.0);
+}
+
+TEST(ThermalModel, HeatsTowardSteadyState) {
+  ThermalModel m;
+  const double power = 2.0;
+  const double target = m.steady_state_c(power);
+  EXPECT_DOUBLE_EQ(target, 25.0 + 2.0 * 18.0);
+  // One time constant reaches ~63% of the step.
+  m.advance(m.params().time_constant_s, power);
+  EXPECT_NEAR(m.temperature_c(), 25.0 + 0.632 * (target - 25.0), 0.3);
+  // Ten time constants: effectively at steady state.
+  m.advance(10 * m.params().time_constant_s, power);
+  EXPECT_NEAR(m.temperature_c(), target, 0.01);
+}
+
+TEST(ThermalModel, CoolsWhenIdle) {
+  ThermalModel m;
+  m.advance(1000.0, 2.5);
+  const double hot = m.temperature_c();
+  m.advance(1000.0, 0.0);
+  EXPECT_LT(m.temperature_c(), hot);
+  EXPECT_NEAR(m.temperature_c(), 25.0, 0.5);
+}
+
+TEST(ThermalModel, MonotoneHeatingUnderConstantPower) {
+  ThermalModel m;
+  double prev = m.temperature_c();
+  for (int i = 0; i < 50; ++i) {
+    m.advance(5.0, 2.0);
+    EXPECT_GE(m.temperature_c(), prev);
+    prev = m.temperature_c();
+  }
+}
+
+TEST(ThermalModel, ThrottleLevelsEngageInOrder) {
+  ThermalParams p;
+  p.resistance_c_per_w = 40.0;  // steady state at 2.5 W = 125 C
+  ThermalModel m(p);
+  EXPECT_EQ(m.level(), ThrottleLevel::kNone);
+  // Heat until soft throttle.
+  while (m.temperature_c() < p.temp_lim_lower_c) m.advance(5.0, 2.5);
+  EXPECT_EQ(m.level(), ThrottleLevel::kSoft);
+  EXPECT_DOUBLE_EQ(m.slowdown(), p.soft_throttle_factor);
+  EXPECT_EQ(m.soft_events(), 1);
+  // Keep heating until hard throttle.
+  while (m.temperature_c() < p.temp_lim_higher_c) m.advance(5.0, 2.5);
+  EXPECT_EQ(m.level(), ThrottleLevel::kHard);
+  EXPECT_DOUBLE_EQ(m.slowdown(), p.hard_throttle_factor);
+  EXPECT_EQ(m.hard_events(), 1);
+}
+
+TEST(ThermalModel, HysteresisOnCooling) {
+  ThermalParams p;
+  p.resistance_c_per_w = 40.0;
+  ThermalModel m(p);
+  while (m.level() != ThrottleLevel::kSoft) m.advance(5.0, 2.5);
+  // Cool to just below the lower limit: hysteresis keeps it throttled.
+  while (m.temperature_c() > p.temp_lim_lower_c - 1.0) m.advance(1.0, 0.0);
+  EXPECT_EQ(m.level(), ThrottleLevel::kSoft);
+  // Cool well below: releases.
+  while (m.temperature_c() > p.temp_lim_lower_c - 5.0) m.advance(1.0, 0.0);
+  EXPECT_EQ(m.level(), ThrottleLevel::kNone);
+}
+
+TEST(ThermalModel, LimitValidation) {
+  ThermalModel m;
+  EXPECT_THROW(m.set_limits(80.0, 70.0), std::invalid_argument);
+  EXPECT_THROW(m.set_limits(10.0, 70.0), std::invalid_argument);
+  EXPECT_NO_THROW(m.set_limits(60.0, 75.0));
+  EXPECT_DOUBLE_EQ(m.params().temp_lim_lower_c, 60.0);
+}
+
+TEST(ThermalModel, HistoryIsBoundedAndRecent) {
+  ThermalModel m;
+  for (int i = 0; i < 500; ++i) m.advance(1.0, 1.0);
+  const auto& h = m.history();
+  EXPECT_LE(h.size(), 128u);
+  EXPECT_NEAR(h.back(), static_cast<float>(m.temperature_c()), 1e-4f);
+}
+
+TEST(ThermalModel, BadParametersRejected) {
+  ThermalParams p;
+  p.time_constant_s = 0;
+  EXPECT_THROW(ThermalModel{p}, std::invalid_argument);
+  p = ThermalParams{};
+  p.soft_throttle_factor = 0.5;
+  EXPECT_THROW(ThermalModel{p}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Device + mvnc integration
+// ---------------------------------------------------------------------------
+
+class ThermalDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ncsw::mvnc::HostConfig cfg;
+    cfg.devices = 1;
+    // Poorly-cooled stick: steady state well above the hard limit.
+    cfg.ncs.thermal.resistance_c_per_w = 45.0;
+    cfg.ncs.thermal.time_constant_s = 20.0;
+    ncsw::mvnc::host_reset(cfg);
+    char name[64];
+    ASSERT_EQ(ncsw::mvnc::mvncGetDeviceName(0, name, sizeof(name)),
+              ncsw::mvnc::MVNC_OK);
+    ASSERT_EQ(ncsw::mvnc::mvncOpenDevice(name, &dev_), ncsw::mvnc::MVNC_OK);
+    const auto blob = ncsw::graphc::serialize(ncsw::graphc::compile(
+        ncsw::nn::build_googlenet(), ncsw::graphc::Precision::kFP16));
+    ASSERT_EQ(ncsw::mvnc::mvncAllocateGraph(
+                  dev_, &graph_, blob.data(),
+                  static_cast<unsigned int>(blob.size())),
+              ncsw::mvnc::MVNC_OK);
+    input_.assign(224 * 224 * 3 * 2, 0);
+  }
+  void TearDown() override {
+    ncsw::mvnc::HostConfig empty;
+    empty.devices = 0;
+    ncsw::mvnc::host_reset(empty);
+  }
+
+  void run_inferences(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(ncsw::mvnc::mvncLoadTensor(
+                    graph_, input_.data(),
+                    static_cast<unsigned int>(input_.size()), nullptr),
+                ncsw::mvnc::MVNC_OK);
+      void* out;
+      unsigned int len;
+      ASSERT_EQ(ncsw::mvnc::mvncGetResult(graph_, &out, &len, nullptr),
+                ncsw::mvnc::MVNC_OK);
+    }
+  }
+
+  void* dev_ = nullptr;
+  void* graph_ = nullptr;
+  std::vector<std::uint8_t> input_;
+};
+
+TEST_F(ThermalDeviceTest, SustainedLoadThrottles) {
+  ncsw::ncs::NcsDevice* device = ncsw::mvnc::device_of(dev_);
+  ASSERT_NE(device, nullptr);
+  const double cold_temp = device->temperature_c();
+  EXPECT_NEAR(cold_temp, 25.0, 1.0);
+
+  run_inferences(5);
+  const auto t5 = ncsw::mvnc::last_ticket(graph_);
+  const double early_exec = t5->exec_end - t5->exec_start;
+
+  run_inferences(2500);  // ~4 simulated minutes of back-to-back inference
+  EXPECT_GT(device->temperature_c(), 70.0);
+  EXPECT_NE(device->throttle_level(), ThrottleLevel::kNone);
+  const auto tn = ncsw::mvnc::last_ticket(graph_);
+  const double late_exec = tn->exec_end - tn->exec_start;
+  EXPECT_GT(late_exec, early_exec * 1.2);  // visibly slower when hot
+}
+
+TEST_F(ThermalDeviceTest, ThermalStatsOptionReportsHistory) {
+  run_inferences(50);
+  float stats[128];
+  unsigned int len = sizeof(stats);
+  ASSERT_EQ(ncsw::mvnc::mvncGetDeviceOption(
+                dev_, ncsw::mvnc::MVNC_THERMAL_STATS, stats, &len),
+            ncsw::mvnc::MVNC_OK);
+  ASSERT_GT(len, sizeof(float));
+  const std::size_t n = len / sizeof(float);
+  EXPECT_GT(stats[n - 1], stats[0]);  // heating under load
+}
+
+TEST_F(ThermalDeviceTest, TempLimitOptionsRoundTrip) {
+  float lower = 0, higher = 0;
+  unsigned int len = sizeof(float);
+  ASSERT_EQ(ncsw::mvnc::mvncGetDeviceOption(
+                dev_, ncsw::mvnc::MVNC_TEMP_LIM_LOWER, &lower, &len),
+            ncsw::mvnc::MVNC_OK);
+  len = sizeof(float);
+  ASSERT_EQ(ncsw::mvnc::mvncGetDeviceOption(
+                dev_, ncsw::mvnc::MVNC_TEMP_LIM_HIGHER, &higher, &len),
+            ncsw::mvnc::MVNC_OK);
+  EXPECT_LT(lower, higher);
+
+  const float new_lower = 55.0f;
+  ASSERT_EQ(ncsw::mvnc::mvncSetDeviceOption(
+                dev_, ncsw::mvnc::MVNC_TEMP_LIM_LOWER, &new_lower,
+                sizeof(new_lower)),
+            ncsw::mvnc::MVNC_OK);
+  len = sizeof(float);
+  ASSERT_EQ(ncsw::mvnc::mvncGetDeviceOption(
+                dev_, ncsw::mvnc::MVNC_TEMP_LIM_LOWER, &lower, &len),
+            ncsw::mvnc::MVNC_OK);
+  EXPECT_FLOAT_EQ(lower, 55.0f);
+
+  // Inconsistent pair rejected.
+  const float bad = 200.0f;
+  EXPECT_EQ(ncsw::mvnc::mvncSetDeviceOption(
+                dev_, ncsw::mvnc::MVNC_TEMP_LIM_LOWER, &bad, sizeof(bad)),
+            ncsw::mvnc::MVNC_INVALID_PARAMETERS);
+}
+
+TEST_F(ThermalDeviceTest, OptimisationListOption) {
+  char buf[128];
+  unsigned int len = sizeof(buf);
+  ASSERT_EQ(ncsw::mvnc::mvncGetDeviceOption(
+                dev_, ncsw::mvnc::MVNC_OPTIMISATION_LIST, buf, &len),
+            ncsw::mvnc::MVNC_OK);
+  EXPECT_NE(std::string(buf).find("fp16"), std::string::npos);
+}
+
+TEST_F(ThermalDeviceTest, UnknownOptionRejected) {
+  char buf[8];
+  unsigned int len = sizeof(buf);
+  EXPECT_EQ(ncsw::mvnc::mvncGetDeviceOption(dev_, 9999, buf, &len),
+            ncsw::mvnc::MVNC_INVALID_PARAMETERS);
+  EXPECT_EQ(ncsw::mvnc::mvncSetDeviceOption(dev_, 9999, buf, len),
+            ncsw::mvnc::MVNC_INVALID_PARAMETERS);
+}
+
+TEST(ThermalDisabled, PaperFiguresUseIdenticalExecTimes) {
+  // With thermal disabled (or default cooling, which never crosses the
+  // limits), execution time stays flat over a long run.
+  ncsw::mvnc::HostConfig cfg;
+  cfg.devices = 1;
+  cfg.ncs.thermal_enabled = false;
+  ncsw::mvnc::host_reset(cfg);
+  char name[64];
+  ASSERT_EQ(ncsw::mvnc::mvncGetDeviceName(0, name, sizeof(name)),
+            ncsw::mvnc::MVNC_OK);
+  void* dev = nullptr;
+  ASSERT_EQ(ncsw::mvnc::mvncOpenDevice(name, &dev), ncsw::mvnc::MVNC_OK);
+  const auto blob = ncsw::graphc::serialize(ncsw::graphc::compile(
+      ncsw::nn::build_googlenet(), ncsw::graphc::Precision::kFP16));
+  void* graph = nullptr;
+  ASSERT_EQ(ncsw::mvnc::mvncAllocateGraph(
+                dev, &graph, blob.data(),
+                static_cast<unsigned int>(blob.size())),
+            ncsw::mvnc::MVNC_OK);
+  std::vector<std::uint8_t> input(224 * 224 * 3 * 2, 0);
+  double first = 0, last = 0;
+  for (int i = 0; i < 300; ++i) {
+    ncsw::mvnc::mvncLoadTensor(graph, input.data(),
+                               static_cast<unsigned int>(input.size()),
+                               nullptr);
+    void* out;
+    unsigned int len;
+    ncsw::mvnc::mvncGetResult(graph, &out, &len, nullptr);
+    const auto t = ncsw::mvnc::last_ticket(graph);
+    const double exec = t->exec_end - t->exec_start;
+    if (i == 0) first = exec;
+    last = exec;
+  }
+  EXPECT_NEAR(last, first, first * 0.01);  // only jitter, no drift
+  ncsw::mvnc::HostConfig empty;
+  empty.devices = 0;
+  ncsw::mvnc::host_reset(empty);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#include "ncs/usb.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ncsw::ncs;
+
+TEST(UsbChannel, DurationIsLatencyPlusBandwidth) {
+  UsbChannel ch("test", UsbLinkParams{100e6, 1e-3});
+  EXPECT_DOUBLE_EQ(ch.duration(0), 1e-3);
+  EXPECT_DOUBLE_EQ(ch.duration(100'000'000), 1e-3 + 1.0);
+  // The paper's GoogLeNet FP16 input (224*224*3*2 B) over USB 3.0 takes
+  // under a millisecond.
+  UsbChannel usb3("usb3", usb3_link());
+  const double t = usb3.duration(224 * 224 * 3 * 2);
+  EXPECT_GT(t, 0.5e-3);
+  EXPECT_LT(t, 1.5e-3);
+}
+
+TEST(UsbChannel, TransfersSerialise) {
+  UsbChannel ch("test", UsbLinkParams{1e6, 0.0});
+  const auto w1 = ch.transfer(0.0, 1'000'000);  // 1 s
+  const auto w2 = ch.transfer(0.0, 1'000'000);
+  EXPECT_DOUBLE_EQ(w1.start, 0.0);
+  EXPECT_DOUBLE_EQ(w1.end, 1.0);
+  EXPECT_DOUBLE_EQ(w2.start, 1.0);
+  EXPECT_DOUBLE_EQ(w2.end, 2.0);
+  EXPECT_EQ(ch.transfers(), 2u);
+  EXPECT_DOUBLE_EQ(ch.busy_time(), 2.0);
+}
+
+TEST(UsbChannel, LaterEarliestRespected) {
+  UsbChannel ch("test", UsbLinkParams{1e6, 0.0});
+  const auto w = ch.transfer(5.0, 1'000'000);
+  EXPECT_DOUBLE_EQ(w.start, 5.0);
+}
+
+TEST(UsbChannel, OutOfOrderRequestsFillGaps) {
+  UsbChannel ch("test", UsbLinkParams{1e6, 0.0});
+  ch.transfer(10.0, 1'000'000);             // [10, 11)
+  const auto w = ch.transfer(0.0, 500'000);  // fits before
+  EXPECT_DOUBLE_EQ(w.start, 0.0);
+}
+
+TEST(UsbChannel, RejectsBadParams) {
+  EXPECT_THROW(UsbChannel("x", UsbLinkParams{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(UsbChannel("x", UsbLinkParams{1e6, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(UsbLinks, Usb2IsTenfoldSlower) {
+  EXPECT_NEAR(usb3_link().bandwidth / usb2_link().bandwidth, 10.0, 0.1);
+}
+
+TEST(Topology, PaperTestbedMapping) {
+  // 8 sticks: 0-2 share hub A, 3-5 share hub B, 6-7 have root ports.
+  UsbTopology topo = UsbTopology::paper_testbed(8);
+  EXPECT_EQ(topo.device_count(), 8);
+  EXPECT_EQ(topo.channel_count(), 4);  // 2 hubs + 2 root ports
+  EXPECT_EQ(&topo.channel_for(0), &topo.channel_for(1));
+  EXPECT_EQ(&topo.channel_for(0), &topo.channel_for(2));
+  EXPECT_EQ(&topo.channel_for(3), &topo.channel_for(5));
+  EXPECT_NE(&topo.channel_for(0), &topo.channel_for(3));
+  EXPECT_NE(&topo.channel_for(6), &topo.channel_for(7));
+  EXPECT_NE(&topo.channel_for(6), &topo.channel_for(0));
+}
+
+TEST(Topology, PaperTestbedExtendsPastEight) {
+  UsbTopology topo = UsbTopology::paper_testbed(12);
+  EXPECT_EQ(topo.device_count(), 12);
+  // Sticks 8..11 get dedicated root ports.
+  EXPECT_NE(&topo.channel_for(8), &topo.channel_for(9));
+}
+
+TEST(Topology, SingleHubSharesOneChannel) {
+  UsbTopology topo = UsbTopology::single_hub(5, usb3_link());
+  EXPECT_EQ(topo.channel_count(), 1);
+  for (int d = 1; d < 5; ++d) {
+    EXPECT_EQ(&topo.channel_for(0), &topo.channel_for(d));
+  }
+}
+
+TEST(Topology, AllDirectDedicatedChannels) {
+  UsbTopology topo = UsbTopology::all_direct(4, usb3_link());
+  EXPECT_EQ(topo.channel_count(), 4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_NE(&topo.channel_for(a), &topo.channel_for(b));
+    }
+  }
+}
+
+TEST(Topology, SharedHubContentionSlowsSiblings) {
+  UsbTopology topo = UsbTopology::single_hub(3, usb2_link());
+  // Three simultaneous 1 MB transfers on one USB 2.0 hub serialise.
+  const std::int64_t mb = 1'000'000;
+  const auto w0 = topo.channel_for(0).transfer(0.0, mb);
+  const auto w1 = topo.channel_for(1).transfer(0.0, mb);
+  const auto w2 = topo.channel_for(2).transfer(0.0, mb);
+  EXPECT_GE(w1.start, w0.end - 1e-12);
+  EXPECT_GE(w2.start, w1.end - 1e-12);
+}
+
+TEST(Topology, DirectPortsDoNotContend) {
+  UsbTopology topo = UsbTopology::all_direct(2, usb2_link());
+  const auto w0 = topo.channel_for(0).transfer(0.0, 1'000'000);
+  const auto w1 = topo.channel_for(1).transfer(0.0, 1'000'000);
+  EXPECT_DOUBLE_EQ(w0.start, 0.0);
+  EXPECT_DOUBLE_EQ(w1.start, 0.0);
+}
+
+TEST(Topology, RejectsBadArguments) {
+  EXPECT_THROW(UsbTopology::paper_testbed(0), std::invalid_argument);
+  EXPECT_THROW(UsbTopology::single_hub(0, usb3_link()),
+               std::invalid_argument);
+  EXPECT_THROW(UsbTopology({0, 5}, {usb3_link()}), std::invalid_argument);
+}
+
+TEST(Topology, ChannelForOutOfRangeThrows) {
+  UsbTopology topo = UsbTopology::all_direct(2, usb3_link());
+  EXPECT_THROW(topo.channel_for(2), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#include "nn/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "graphc/compiler.h"
+#include "myriad/myriad.h"
+#include "nn/executor.h"
+#include "nn/googlenet.h"
+
+namespace {
+
+using namespace ncsw::nn;
+using ncsw::tensor::Shape;
+
+TEST(AlexNet, CanonicalStageShapes) {
+  const Graph g = build_alexnet();
+  EXPECT_NO_THROW(g.validate());
+  auto shape_of = [&](const char* name) {
+    const int id = g.find(name);
+    EXPECT_GE(id, 0) << name;
+    return g.layer(id).out_shape;
+  };
+  EXPECT_EQ(shape_of("conv1"), (Shape{1, 96, 55, 55}));
+  EXPECT_EQ(shape_of("pool1"), (Shape{1, 96, 27, 27}));
+  EXPECT_EQ(shape_of("conv2"), (Shape{1, 256, 27, 27}));
+  EXPECT_EQ(shape_of("pool2"), (Shape{1, 256, 13, 13}));
+  EXPECT_EQ(shape_of("conv5"), (Shape{1, 256, 13, 13}));
+  EXPECT_EQ(shape_of("pool5"), (Shape{1, 256, 6, 6}));
+  EXPECT_EQ(shape_of("fc6"), (Shape{1, 4096, 1, 1}));
+  EXPECT_EQ(g.output_shape(), (Shape{1, 1000, 1, 1}));
+}
+
+TEST(AlexNet, MacAndParameterCounts) {
+  const Graph g = build_alexnet();
+  // Ungrouped AlexNet: ~1.1 GMACs, ~60M+ parameters (FC-dominated).
+  const auto macs = graph_macs(g);
+  EXPECT_GT(macs, 0.9e9);
+  EXPECT_LT(macs, 1.4e9);
+  const WeightsF w = init_msra(g, 0);
+  EXPECT_GT(w.param_count(), 55'000'000);
+  EXPECT_LT(w.param_count(), 75'000'000);
+}
+
+TEST(SqueezeNet, CanonicalStageShapes) {
+  const Graph g = build_squeezenet_v11();
+  EXPECT_NO_THROW(g.validate());
+  auto shape_of = [&](const char* name) {
+    const int id = g.find(name);
+    EXPECT_GE(id, 0) << name;
+    return g.layer(id).out_shape;
+  };
+  EXPECT_EQ(shape_of("conv1"), (Shape{1, 64, 113, 113}));
+  EXPECT_EQ(shape_of("fire2/concat"), (Shape{1, 128, 56, 56}));
+  EXPECT_EQ(shape_of("fire4/concat"), (Shape{1, 256, 28, 28}));
+  EXPECT_EQ(shape_of("fire9/concat"), (Shape{1, 512, 14, 14}));
+  EXPECT_EQ(shape_of("pool10"), (Shape{1, 1000, 1, 1}));
+  EXPECT_EQ(g.output_shape(), (Shape{1, 1000, 1, 1}));
+}
+
+TEST(SqueezeNet, TinyParameterFootprint) {
+  const Graph g = build_squeezenet_v11();
+  const WeightsF w = init_msra(g, 0);
+  // SqueezeNet v1.1: ~1.24M parameters — ~50x fewer than AlexNet.
+  EXPECT_GT(w.param_count(), 1'000'000);
+  EXPECT_LT(w.param_count(), 1'500'000);
+  // And ~0.39 GMACs.
+  EXPECT_NEAR(static_cast<double>(graph_macs(g)), 0.39e9, 0.08e9);
+}
+
+TEST(FireModule, StructureAndShapes) {
+  Graph g("probe");
+  const int in = g.add_input("data", 8, 10, 10);
+  const int out = add_fire_module(g, "fire", in, 4, 16, 16);
+  EXPECT_EQ(g.layer(out).out_shape, (Shape{1, 32, 10, 10}));
+  EXPECT_GE(g.find("fire/squeeze1x1"), 0);
+  EXPECT_GE(g.find("fire/expand1x1"), 0);
+  EXPECT_GE(g.find("fire/expand3x3"), 0);
+}
+
+TEST(FireModule, RunsFunctionally) {
+  Graph g("probe");
+  const int in = g.add_input("data", 4, 8, 8);
+  const int fire = add_fire_module(g, "fire", in, 2, 4, 4);
+  g.add_softmax("prob", g.add_fc("fc", fire, FCParams{5}));
+  const WeightsF w = init_msra(g, 3);
+  ncsw::tensor::TensorF input(Shape{2, 4, 8, 8}, 0.5f);
+  const auto probs = run_probabilities(g, w, input);
+  for (const auto& row : probs) {
+    double sum = 0;
+    for (float p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Zoo, NamedLookupAndErrors) {
+  EXPECT_EQ(build_named_network("googlenet").name(), "bvlc_googlenet");
+  EXPECT_EQ(build_named_network("alexnet").name(), "alexnet");
+  EXPECT_EQ(build_named_network("squeezenet").name(), "squeezenet_v1.1");
+  EXPECT_EQ(build_named_network("tiny").name(), "tiny_googlenet");
+  EXPECT_THROW(build_named_network("resnet50"), std::invalid_argument);
+  EXPECT_EQ(network_zoo_names().size(), 4u);
+}
+
+TEST(Zoo, EveryNetworkCompilesAndExecutesOnTheChip) {
+  ncsw::myriad::Myriad2 chip;
+  for (const auto& name : network_zoo_names()) {
+    const auto compiled = ncsw::graphc::compile(
+        build_named_network(name), ncsw::graphc::Precision::kFP16);
+    const auto profile = chip.execute(compiled);
+    EXPECT_GT(profile.total_s, 0.0) << name;
+    EXPECT_LT(profile.total_s, 0.5) << name;   // all under half a second
+    EXPECT_LT(profile.avg_power_w, 1.0) << name;
+  }
+}
+
+TEST(Zoo, RelativeSpeedOrderingOnTheStick) {
+  ncsw::myriad::Myriad2 chip;
+  auto time_of = [&](const char* name) {
+    return chip
+        .execute(ncsw::graphc::compile(build_named_network(name),
+                                       ncsw::graphc::Precision::kFP16))
+        .total_s;
+  };
+  const double squeezenet = time_of("squeezenet");
+  const double googlenet = time_of("googlenet");
+  const double alexnet = time_of("alexnet");
+  // SqueezeNet is the lightest; GoogLeNet the heaviest compute.
+  EXPECT_LT(squeezenet, alexnet);
+  EXPECT_LT(squeezenet, googlenet);
+  EXPECT_LT(alexnet, googlenet * 1.1);  // AlexNet near GoogLeNet (FC DMA)
+}
+
+}  // namespace

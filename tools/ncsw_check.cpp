@@ -1,0 +1,122 @@
+// ncsw_check — the mvNCCheck equivalent: runs the same input through the
+// device (FP16, over the NCAPI) and the host reference (FP32) and
+// compares the outputs — top-5 agreement, max/mean absolute error — with
+// the NCSDK's pass/fail thresholds.
+//
+//   ./build/tools/ncsw_check --classes 32 --inputs 5
+#include <cmath>
+#include <iostream>
+
+#include "core/model.h"
+#include "mvnc/mvnc.h"
+#include "mvnc/sim_host.h"
+#include "nn/executor.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ncsw;
+  util::Cli cli("ncsw_check",
+                "compare device FP16 inference against the FP32 reference");
+  cli.add_int("classes", 32, "classes of the functional network");
+  cli.add_int("inputs", 5, "random inputs to check");
+  cli.add_double("max-error", 0.02, "fail when max |diff| exceeds this");
+  cli.add_int("seed", 42, "input seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    // Functional network + dataset-calibrated classifier.
+    dataset::DatasetConfig data_cfg;
+    data_cfg.num_classes = static_cast<int>(cli.get_int("classes"));
+    const dataset::SyntheticImageNet data(data_cfg);
+    auto bundle = core::ModelBundle::tiny_functional(data, {32, 0});
+
+    // One simulated stick.
+    mvnc::HostConfig host;
+    host.devices = 1;
+    mvnc::host_reset(host);
+    char name[64];
+    mvnc::mvncGetDeviceName(0, name, sizeof(name));
+    void* dev = nullptr;
+    if (mvnc::mvncOpenDevice(name, &dev) != mvnc::MVNC_OK) {
+      throw std::runtime_error("mvncOpenDevice failed");
+    }
+    void* graph = nullptr;
+    if (mvnc::mvncAllocateGraph(
+            dev, &graph, bundle->graph_blob.data(),
+            static_cast<unsigned int>(bundle->graph_blob.size())) !=
+        mvnc::MVNC_OK) {
+      throw std::runtime_error("mvncAllocateGraph failed");
+    }
+    mvnc::set_functional_network(graph, &bundle->graph, &bundle->weights_f16);
+
+    util::Table table("ncsw_check report (device FP16 vs host FP32)");
+    table.set_header({"input", "top-1 match", "top-5 match", "max |diff|",
+                      "mean |diff|", "status"});
+    util::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    const double max_err = cli.get_double("max-error");
+    bool all_pass = true;
+
+    for (int t = 0; t < cli.get_int("inputs"); ++t) {
+      const auto sample = data.sample(0, static_cast<int>(rng.uniform_u64(
+                                             data.images_per_subset())));
+      const auto input = data.preprocess(sample.image, bundle->input_size());
+
+      // Host FP32 reference.
+      const auto host_probs =
+          nn::run_probabilities(bundle->graph, bundle->weights_f32, input)[0];
+
+      // Device FP16 through the NCAPI.
+      const auto half_input = tensor::tensor_cast<fp16::half>(input);
+      mvnc::mvncLoadTensor(graph, half_input.data(),
+                           static_cast<unsigned int>(half_input.numel() * 2),
+                           nullptr);
+      void* out = nullptr;
+      unsigned int len = 0;
+      mvnc::mvncGetResult(graph, &out, &len, nullptr);
+      const auto* dev_h = static_cast<const fp16::half*>(out);
+      std::vector<float> dev_probs(len / 2);
+      for (std::size_t i = 0; i < dev_probs.size(); ++i) {
+        dev_probs[i] = static_cast<float>(dev_h[i]);
+      }
+
+      double max_d = 0, sum_d = 0;
+      for (std::size_t i = 0; i < host_probs.size(); ++i) {
+        const double d = std::abs(host_probs[i] - dev_probs[i]);
+        max_d = std::max(max_d, d);
+        sum_d += d;
+      }
+      const auto host_top = nn::top_k(host_probs, 5);
+      const auto dev_top = nn::top_k(dev_probs, 5);
+      const bool top1 = host_top[0].first == dev_top[0].first;
+      int top5_hits = 0;
+      for (const auto& [c, p] : dev_top) {
+        for (const auto& [hc, hp] : host_top) {
+          if (c == hc) {
+            ++top5_hits;
+            break;
+          }
+        }
+      }
+      const bool pass = max_d <= max_err && top1;
+      all_pass = all_pass && pass;
+      table.add_row({std::to_string(t), top1 ? "yes" : "NO",
+                     std::to_string(top5_hits) + "/5",
+                     util::Table::num(max_d, 5), util::Table::num(
+                         sum_d / static_cast<double>(host_probs.size()), 6),
+                     pass ? "PASS" : "FAIL"});
+    }
+    std::cout << table.to_string();
+    std::cout << (all_pass ? "\nResult: PASS — device output matches the "
+                             "FP32 reference within tolerance.\n"
+                           : "\nResult: FAIL\n");
+
+    mvnc::mvncDeallocateGraph(graph);
+    mvnc::mvncCloseDevice(dev);
+    return all_pass ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "ncsw_check: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+// ncsw_compile — the mvNCCompile equivalent: lowers a named network to
+// the binary graph file the simulated stick accepts, and prints the
+// compile report (per-layer work, data movement, CMX residency).
+//
+//   ./build/tools/ncsw_compile --network googlenet --o googlenet.blob
+#include <iostream>
+
+#include "graphc/compiler.h"
+#include "nn/zoo.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ncsw;
+  util::Cli cli("ncsw_compile", "compile a network to an NCS graph file");
+  cli.add_string("network", "googlenet",
+                 "googlenet | alexnet | squeezenet | tiny");
+  cli.add_string("precision", "fp16", "fp16 (stick-executable) or fp32");
+  cli.add_string("o", "", "output graph file path (omit for a dry run)");
+  cli.add_bool("verbose", false, "print the per-layer compile report");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto graph = nn::build_named_network(cli.get_string("network"));
+    const std::string prec_name = cli.get_string("precision");
+    graphc::Precision precision;
+    if (prec_name == "fp16") {
+      precision = graphc::Precision::kFP16;
+    } else if (prec_name == "fp32") {
+      precision = graphc::Precision::kFP32;
+    } else {
+      throw std::runtime_error("--precision must be fp16 or fp32");
+    }
+
+    const auto compiled = graphc::compile(graph, precision);
+    const auto blob = graphc::serialize(compiled);
+
+    std::cout << "network:      " << compiled.net_name << "\n"
+              << "precision:    " << graphc::precision_name(precision) << "\n"
+              << "input:        " << compiled.input_shape.to_string() << "\n"
+              << "outputs:      " << compiled.num_outputs << "\n"
+              << "layers:       " << compiled.layers.size() << "\n"
+              << "MACs/image:   " << compiled.total_macs() << "\n"
+              << "weight bytes: " << compiled.total_weight_bytes() << "\n"
+              << "graph file:   " << blob.size() << " bytes\n";
+
+    if (cli.get_bool("verbose")) {
+      util::Table table("per-layer compile report");
+      table.set_header({"layer", "kind", "out shape", "MACs", "weights (B)",
+                        "tiles", "CMX"});
+      for (const auto& l : compiled.layers) {
+        table.add_row({l.name, nn::layer_kind_name(l.kind),
+                       l.out_shape.to_string(), std::to_string(l.macs),
+                       std::to_string(l.weight_bytes),
+                       std::to_string(l.tiles),
+                       l.fits_cmx ? "resident" : "DDR-stream"});
+      }
+      std::cout << "\n" << table.to_string();
+    }
+
+    const std::string out = cli.get_string("o");
+    if (!out.empty()) {
+      util::write_file(out, std::string(blob.begin(), blob.end()));
+      std::cout << "wrote " << out << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ncsw_compile: " << e.what() << "\n";
+    return 1;
+  }
+}
