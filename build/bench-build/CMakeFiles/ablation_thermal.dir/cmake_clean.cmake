@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_thermal"
+  "../bench/ablation_thermal.pdb"
+  "CMakeFiles/ablation_thermal.dir/ablation_thermal.cpp.o"
+  "CMakeFiles/ablation_thermal.dir/ablation_thermal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

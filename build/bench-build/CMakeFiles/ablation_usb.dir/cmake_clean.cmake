@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_usb"
+  "../bench/ablation_usb.pdb"
+  "CMakeFiles/ablation_usb.dir/ablation_usb.cpp.o"
+  "CMakeFiles/ablation_usb.dir/ablation_usb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_usb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

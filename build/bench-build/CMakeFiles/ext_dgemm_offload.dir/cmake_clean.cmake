@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dgemm_offload"
+  "../bench/ext_dgemm_offload.pdb"
+  "CMakeFiles/ext_dgemm_offload.dir/ext_dgemm_offload.cpp.o"
+  "CMakeFiles/ext_dgemm_offload.dir/ext_dgemm_offload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dgemm_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

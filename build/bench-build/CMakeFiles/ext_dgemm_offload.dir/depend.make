@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dgemm_offload.
+# This may be replaced when dependencies are built.

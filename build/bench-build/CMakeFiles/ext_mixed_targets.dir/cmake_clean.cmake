@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_mixed_targets"
+  "../bench/ext_mixed_targets.pdb"
+  "CMakeFiles/ext_mixed_targets.dir/ext_mixed_targets.cpp.o"
+  "CMakeFiles/ext_mixed_targets.dir/ext_mixed_targets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

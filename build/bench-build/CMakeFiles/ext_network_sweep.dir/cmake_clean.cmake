@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_network_sweep"
+  "../bench/ext_network_sweep.pdb"
+  "CMakeFiles/ext_network_sweep.dir/ext_network_sweep.cpp.o"
+  "CMakeFiles/ext_network_sweep.dir/ext_network_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_precision_depth"
+  "../bench/ext_precision_depth.pdb"
+  "CMakeFiles/ext_precision_depth.dir/ext_precision_depth.cpp.o"
+  "CMakeFiles/ext_precision_depth.dir/ext_precision_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_precision_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

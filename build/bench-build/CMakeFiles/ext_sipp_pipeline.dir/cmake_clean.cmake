@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_sipp_pipeline"
+  "../bench/ext_sipp_pipeline.pdb"
+  "CMakeFiles/ext_sipp_pipeline.dir/ext_sipp_pipeline.cpp.o"
+  "CMakeFiles/ext_sipp_pipeline.dir/ext_sipp_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sipp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

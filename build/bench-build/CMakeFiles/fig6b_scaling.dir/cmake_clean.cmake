@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_scaling"
+  "../bench/fig6b_scaling.pdb"
+  "CMakeFiles/fig6b_scaling.dir/fig6b_scaling.cpp.o"
+  "CMakeFiles/fig6b_scaling.dir/fig6b_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

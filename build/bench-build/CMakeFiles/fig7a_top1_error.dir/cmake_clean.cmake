@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7a_top1_error"
+  "../bench/fig7a_top1_error.pdb"
+  "CMakeFiles/fig7a_top1_error.dir/fig7a_top1_error.cpp.o"
+  "CMakeFiles/fig7a_top1_error.dir/fig7a_top1_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_top1_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

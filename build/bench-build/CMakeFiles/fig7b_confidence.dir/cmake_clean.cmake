@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7b_confidence"
+  "../bench/fig7b_confidence.pdb"
+  "CMakeFiles/fig7b_confidence.dir/fig7b_confidence.cpp.o"
+  "CMakeFiles/fig7b_confidence.dir/fig7b_confidence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

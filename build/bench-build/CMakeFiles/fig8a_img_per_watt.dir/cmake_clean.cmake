@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8a_img_per_watt"
+  "../bench/fig8a_img_per_watt.pdb"
+  "CMakeFiles/fig8a_img_per_watt.dir/fig8a_img_per_watt.cpp.o"
+  "CMakeFiles/fig8a_img_per_watt.dir/fig8a_img_per_watt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_img_per_watt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

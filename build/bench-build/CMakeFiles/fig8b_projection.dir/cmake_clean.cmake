@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8b_projection"
+  "../bench/fig8b_projection.pdb"
+  "CMakeFiles/fig8b_projection.dir/fig8b_projection.cpp.o"
+  "CMakeFiles/fig8b_projection.dir/fig8b_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/layer_profile"
+  "../bench/layer_profile.pdb"
+  "CMakeFiles/layer_profile.dir/layer_profile.cpp.o"
+  "CMakeFiles/layer_profile.dir/layer_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_testbed"
+  "../bench/table_testbed.pdb"
+  "CMakeFiles/table_testbed.dir/table_testbed.cpp.o"
+  "CMakeFiles/table_testbed.dir/table_testbed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_stream_offload.dir/hpc_stream_offload.cpp.o"
+  "CMakeFiles/hpc_stream_offload.dir/hpc_stream_offload.cpp.o.d"
+  "hpc_stream_offload"
+  "hpc_stream_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_stream_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

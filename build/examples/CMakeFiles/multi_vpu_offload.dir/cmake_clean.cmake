@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_vpu_offload.dir/multi_vpu_offload.cpp.o"
+  "CMakeFiles/multi_vpu_offload.dir/multi_vpu_offload.cpp.o.d"
+  "multi_vpu_offload"
+  "multi_vpu_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vpu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

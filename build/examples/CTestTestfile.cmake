@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_vpu "/root/repo/build/examples/multi_vpu_offload" "--images" "16" "--classes" "10")
+set_tests_properties(example_multi_vpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hpc_stream "/root/repo/build/examples/hpc_stream_offload")
+set_tests_properties(example_hpc_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_precision "/root/repo/build/examples/precision_study")
+set_tests_properties(example_precision PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gemm_offload "/root/repo/build/examples/gemm_offload" "--n" "128")
+set_tests_properties(example_gemm_offload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("half")
+subdirs("tensor")
+subdirs("imgproc")
+subdirs("nn")
+subdirs("graphc")
+subdirs("sim")
+subdirs("myriad")
+subdirs("ncs")
+subdirs("mvnc")
+subdirs("devices")
+subdirs("dataset")
+subdirs("core")
+subdirs("mdk")
+subdirs("sipp")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_core.dir/application.cpp.o"
+  "CMakeFiles/ncsw_core.dir/application.cpp.o.d"
+  "CMakeFiles/ncsw_core.dir/experiments.cpp.o"
+  "CMakeFiles/ncsw_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/ncsw_core.dir/host_target.cpp.o"
+  "CMakeFiles/ncsw_core.dir/host_target.cpp.o.d"
+  "CMakeFiles/ncsw_core.dir/model.cpp.o"
+  "CMakeFiles/ncsw_core.dir/model.cpp.o.d"
+  "CMakeFiles/ncsw_core.dir/source.cpp.o"
+  "CMakeFiles/ncsw_core.dir/source.cpp.o.d"
+  "CMakeFiles/ncsw_core.dir/vpu_target.cpp.o"
+  "CMakeFiles/ncsw_core.dir/vpu_target.cpp.o.d"
+  "libncsw_core.a"
+  "libncsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

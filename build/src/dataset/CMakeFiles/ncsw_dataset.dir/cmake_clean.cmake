@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_dataset.dir/synthetic.cpp.o"
+  "CMakeFiles/ncsw_dataset.dir/synthetic.cpp.o.d"
+  "libncsw_dataset.a"
+  "libncsw_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

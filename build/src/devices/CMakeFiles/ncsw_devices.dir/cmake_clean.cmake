@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_devices.dir/host_models.cpp.o"
+  "CMakeFiles/ncsw_devices.dir/host_models.cpp.o.d"
+  "libncsw_devices.a"
+  "libncsw_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_graphc.dir/compiler.cpp.o"
+  "CMakeFiles/ncsw_graphc.dir/compiler.cpp.o.d"
+  "libncsw_graphc.a"
+  "libncsw_graphc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_graphc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

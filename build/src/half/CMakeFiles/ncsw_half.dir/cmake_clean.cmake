@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_half.dir/half.cpp.o"
+  "CMakeFiles/ncsw_half.dir/half.cpp.o.d"
+  "libncsw_half.a"
+  "libncsw_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

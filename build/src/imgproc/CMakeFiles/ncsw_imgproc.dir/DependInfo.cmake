@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/ops.cpp" "src/imgproc/CMakeFiles/ncsw_imgproc.dir/ops.cpp.o" "gcc" "src/imgproc/CMakeFiles/ncsw_imgproc.dir/ops.cpp.o.d"
+  "/root/repo/src/imgproc/ppm.cpp" "src/imgproc/CMakeFiles/ncsw_imgproc.dir/ppm.cpp.o" "gcc" "src/imgproc/CMakeFiles/ncsw_imgproc.dir/ppm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ncsw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/half/CMakeFiles/ncsw_half.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_imgproc.dir/ops.cpp.o"
+  "CMakeFiles/ncsw_imgproc.dir/ops.cpp.o.d"
+  "CMakeFiles/ncsw_imgproc.dir/ppm.cpp.o"
+  "CMakeFiles/ncsw_imgproc.dir/ppm.cpp.o.d"
+  "libncsw_imgproc.a"
+  "libncsw_imgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

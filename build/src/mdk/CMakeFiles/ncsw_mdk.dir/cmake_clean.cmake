@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_mdk.dir/mdk.cpp.o"
+  "CMakeFiles/ncsw_mdk.dir/mdk.cpp.o.d"
+  "libncsw_mdk.a"
+  "libncsw_mdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_mdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ncsw_mdk.
+# This may be replaced when dependencies are built.

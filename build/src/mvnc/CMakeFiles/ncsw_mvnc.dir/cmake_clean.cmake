@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_mvnc.dir/mvnc.cpp.o"
+  "CMakeFiles/ncsw_mvnc.dir/mvnc.cpp.o.d"
+  "libncsw_mvnc.a"
+  "libncsw_mvnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_mvnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libncsw_mvnc.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/myriad/myriad.cpp" "src/myriad/CMakeFiles/ncsw_myriad.dir/myriad.cpp.o" "gcc" "src/myriad/CMakeFiles/ncsw_myriad.dir/myriad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graphc/CMakeFiles/ncsw_graphc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ncsw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncsw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ncsw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/half/CMakeFiles/ncsw_half.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncsw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_myriad.dir/myriad.cpp.o"
+  "CMakeFiles/ncsw_myriad.dir/myriad.cpp.o.d"
+  "libncsw_myriad.a"
+  "libncsw_myriad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_myriad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ncsw_myriad.
+# This may be replaced when dependencies are built.

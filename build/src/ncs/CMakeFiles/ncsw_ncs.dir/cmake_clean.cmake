@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_ncs.dir/device.cpp.o"
+  "CMakeFiles/ncsw_ncs.dir/device.cpp.o.d"
+  "CMakeFiles/ncsw_ncs.dir/thermal.cpp.o"
+  "CMakeFiles/ncsw_ncs.dir/thermal.cpp.o.d"
+  "CMakeFiles/ncsw_ncs.dir/usb.cpp.o"
+  "CMakeFiles/ncsw_ncs.dir/usb.cpp.o.d"
+  "libncsw_ncs.a"
+  "libncsw_ncs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_ncs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

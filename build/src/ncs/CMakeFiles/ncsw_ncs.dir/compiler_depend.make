@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ncsw_ncs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/executor.cpp" "src/nn/CMakeFiles/ncsw_nn.dir/executor.cpp.o" "gcc" "src/nn/CMakeFiles/ncsw_nn.dir/executor.cpp.o.d"
+  "/root/repo/src/nn/googlenet.cpp" "src/nn/CMakeFiles/ncsw_nn.dir/googlenet.cpp.o" "gcc" "src/nn/CMakeFiles/ncsw_nn.dir/googlenet.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/ncsw_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/ncsw_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/kernels.cpp" "src/nn/CMakeFiles/ncsw_nn.dir/kernels.cpp.o" "gcc" "src/nn/CMakeFiles/ncsw_nn.dir/kernels.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ncsw_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ncsw_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/weights.cpp" "src/nn/CMakeFiles/ncsw_nn.dir/weights.cpp.o" "gcc" "src/nn/CMakeFiles/ncsw_nn.dir/weights.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/ncsw_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/ncsw_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ncsw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/half/CMakeFiles/ncsw_half.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

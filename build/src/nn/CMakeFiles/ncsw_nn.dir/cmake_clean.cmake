@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_nn.dir/executor.cpp.o"
+  "CMakeFiles/ncsw_nn.dir/executor.cpp.o.d"
+  "CMakeFiles/ncsw_nn.dir/googlenet.cpp.o"
+  "CMakeFiles/ncsw_nn.dir/googlenet.cpp.o.d"
+  "CMakeFiles/ncsw_nn.dir/graph.cpp.o"
+  "CMakeFiles/ncsw_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/ncsw_nn.dir/kernels.cpp.o"
+  "CMakeFiles/ncsw_nn.dir/kernels.cpp.o.d"
+  "CMakeFiles/ncsw_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ncsw_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/ncsw_nn.dir/weights.cpp.o"
+  "CMakeFiles/ncsw_nn.dir/weights.cpp.o.d"
+  "CMakeFiles/ncsw_nn.dir/zoo.cpp.o"
+  "CMakeFiles/ncsw_nn.dir/zoo.cpp.o.d"
+  "libncsw_nn.a"
+  "libncsw_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_sim.dir/engine.cpp.o"
+  "CMakeFiles/ncsw_sim.dir/engine.cpp.o.d"
+  "libncsw_sim.a"
+  "libncsw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_sipp.dir/filters.cpp.o"
+  "CMakeFiles/ncsw_sipp.dir/filters.cpp.o.d"
+  "CMakeFiles/ncsw_sipp.dir/pipeline.cpp.o"
+  "CMakeFiles/ncsw_sipp.dir/pipeline.cpp.o.d"
+  "libncsw_sipp.a"
+  "libncsw_sipp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_sipp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ncsw_sipp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/ncsw_tensor.dir/gemm.cpp.o.d"
+  "libncsw_tensor.a"
+  "libncsw_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

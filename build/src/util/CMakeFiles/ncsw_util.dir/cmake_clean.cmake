@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_util.dir/cli.cpp.o"
+  "CMakeFiles/ncsw_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ncsw_util.dir/log.cpp.o"
+  "CMakeFiles/ncsw_util.dir/log.cpp.o.d"
+  "CMakeFiles/ncsw_util.dir/rng.cpp.o"
+  "CMakeFiles/ncsw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ncsw_util.dir/stats.cpp.o"
+  "CMakeFiles/ncsw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ncsw_util.dir/table.cpp.o"
+  "CMakeFiles/ncsw_util.dir/table.cpp.o.d"
+  "CMakeFiles/ncsw_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ncsw_util.dir/thread_pool.cpp.o.d"
+  "libncsw_util.a"
+  "libncsw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_googlenet.cpp" "tests/CMakeFiles/test_googlenet.dir/test_googlenet.cpp.o" "gcc" "tests/CMakeFiles/test_googlenet.dir/test_googlenet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ncsw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdk/CMakeFiles/ncsw_mdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sipp/CMakeFiles/ncsw_sipp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvnc/CMakeFiles/ncsw_mvnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncs/CMakeFiles/ncsw_ncs.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/ncsw_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/ncsw_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/myriad/CMakeFiles/ncsw_myriad.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ncsw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphc/CMakeFiles/ncsw_graphc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncsw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncsw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/ncsw_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ncsw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/half/CMakeFiles/ncsw_half.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_googlenet.dir/test_googlenet.cpp.o"
+  "CMakeFiles/test_googlenet.dir/test_googlenet.cpp.o.d"
+  "test_googlenet"
+  "test_googlenet.pdb"
+  "test_googlenet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_googlenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

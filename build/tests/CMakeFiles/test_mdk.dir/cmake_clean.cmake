@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdk.dir/test_mdk.cpp.o"
+  "CMakeFiles/test_mdk.dir/test_mdk.cpp.o.d"
+  "test_mdk"
+  "test_mdk.pdb"
+  "test_mdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

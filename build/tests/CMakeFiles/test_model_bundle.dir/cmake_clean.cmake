@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_bundle.dir/test_model_bundle.cpp.o"
+  "CMakeFiles/test_model_bundle.dir/test_model_bundle.cpp.o.d"
+  "test_model_bundle"
+  "test_model_bundle.pdb"
+  "test_model_bundle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

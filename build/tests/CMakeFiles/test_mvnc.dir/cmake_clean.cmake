@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mvnc.dir/test_mvnc.cpp.o"
+  "CMakeFiles/test_mvnc.dir/test_mvnc.cpp.o.d"
+  "test_mvnc"
+  "test_mvnc.pdb"
+  "test_mvnc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mvnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_myriad.dir/test_myriad.cpp.o"
+  "CMakeFiles/test_myriad.dir/test_myriad.cpp.o.d"
+  "test_myriad"
+  "test_myriad.pdb"
+  "test_myriad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_myriad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

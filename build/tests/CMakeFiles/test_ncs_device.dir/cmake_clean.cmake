@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ncs_device.dir/test_ncs_device.cpp.o"
+  "CMakeFiles/test_ncs_device.dir/test_ncs_device.cpp.o.d"
+  "test_ncs_device"
+  "test_ncs_device.pdb"
+  "test_ncs_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ncs_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

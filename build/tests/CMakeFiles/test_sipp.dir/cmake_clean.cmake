@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sipp.dir/test_sipp.cpp.o"
+  "CMakeFiles/test_sipp.dir/test_sipp.cpp.o.d"
+  "test_sipp"
+  "test_sipp.pdb"
+  "test_sipp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sipp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source_app.dir/test_source_app.cpp.o"
+  "CMakeFiles/test_source_app.dir/test_source_app.cpp.o.d"
+  "test_source_app"
+  "test_source_app.pdb"
+  "test_source_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

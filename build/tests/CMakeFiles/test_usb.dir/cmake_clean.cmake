@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usb.dir/test_usb.cpp.o"
+  "CMakeFiles/test_usb.dir/test_usb.cpp.o.d"
+  "test_usb"
+  "test_usb.pdb"
+  "test_usb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

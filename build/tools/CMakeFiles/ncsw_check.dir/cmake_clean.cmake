@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_check.dir/ncsw_check.cpp.o"
+  "CMakeFiles/ncsw_check.dir/ncsw_check.cpp.o.d"
+  "ncsw_check"
+  "ncsw_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

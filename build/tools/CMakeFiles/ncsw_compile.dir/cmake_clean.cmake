@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_compile.dir/ncsw_compile.cpp.o"
+  "CMakeFiles/ncsw_compile.dir/ncsw_compile.cpp.o.d"
+  "ncsw_compile"
+  "ncsw_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncsw_profile.dir/ncsw_profile.cpp.o"
+  "CMakeFiles/ncsw_profile.dir/ncsw_profile.cpp.o.d"
+  "ncsw_profile"
+  "ncsw_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncsw_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

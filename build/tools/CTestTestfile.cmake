@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_compile_smoke "/root/repo/build/tools/ncsw_compile" "--network" "tiny" "--verbose")
+set_tests_properties(tool_compile_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_compile_rejects_unknown "/root/repo/build/tools/ncsw_compile" "--network" "resnet50")
+set_tests_properties(tool_compile_rejects_unknown PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_profile_smoke "/root/repo/build/tools/ncsw_profile" "--network" "squeezenet" "--rows" "5")
+set_tests_properties(tool_profile_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_check_smoke "/root/repo/build/tools/ncsw_check" "--inputs" "2" "--classes" "8")
+set_tests_properties(tool_check_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_compile_profile_roundtrip "sh" "-c" "/root/repo/build/tools/ncsw_compile --network squeezenet --o=/root/repo/build/sq.blob && /root/repo/build/tools/ncsw_profile --graph /root/repo/build/sq.blob --rows 3")
+set_tests_properties(tool_compile_profile_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
