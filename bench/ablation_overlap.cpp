@@ -72,12 +72,17 @@ int main(int argc, char** argv) {
   cli.add_int("devices", 8, "NCS sticks");
   ncsw::bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  ncsw::bench::setup(cli);
 
   const int devices = static_cast<int>(cli.get_int("devices"));
   const std::int64_t images = cli.get_int("images");
   auto bundle = core::ModelBundle::googlenet_reference();
 
-  // Paper's overlapped runner at 1 and N sticks.
+  // Paper's overlapped runner at 1 and N sticks. With --trace, the two
+  // drivers land on prefixed lanes so one Perfetto view shows the
+  // overlapped timelines staggered across sticks and the blocking ones
+  // strictly serialised.
+  util::tracer().set_lane_prefix("overlap-on ");
   double single = 0.0, overlapped = 0.0;
   {
     core::VpuTargetConfig cfg;
@@ -89,7 +94,9 @@ int main(int argc, char** argv) {
   }
 
   // Hypothetical blocking driver on a fresh host.
+  util::tracer().set_lane_prefix("overlap-off ");
   const double blocking = blocking_throughput(*bundle, images, devices);
+  util::tracer().set_lane_prefix("");
 
   util::Table table("A1: load/get overlap ablation (images/s)");
   table.set_header({"Driver", "Sticks", "Throughput", "Speedup vs 1 stick"});
@@ -106,5 +113,16 @@ int main(int argc, char** argv) {
   std::cout << "\nconclusion: without the MPI-like non-blocking split, "
                "eight sticks perform like one; the overlap is what buys "
                "the near-ideal scaling of Fig. 6b.\n";
+
+  ncsw::bench::BenchReport report("ablation_overlap");
+  report.config("images", images);
+  report.config("devices", static_cast<std::int64_t>(devices));
+  report.value("single_stick_img_per_s", single);
+  report.value("blocking_img_per_s", blocking);
+  report.value("overlapped_img_per_s", overlapped);
+  report.value("blocking_speedup_x", blocking / single);
+  report.value("overlapped_speedup_x", overlapped / single);
+  ncsw::bench::write_report(report, cli);
+  ncsw::bench::finalize(cli);
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_double("slow-factor", 2.0, "clock division of the degraded stick");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   const int devices = static_cast<int>(cli.get_int("devices"));
   const std::int64_t images = cli.get_int("images");
@@ -62,5 +63,6 @@ int main(int argc, char** argv) {
                "whole group to its pace; a least-loaded queue recovers "
                "most of the loss (future-work territory the paper's "
                "Section III design anticipates).\n";
+  bench::finalize(cli);
   return 0;
 }

@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
   cli.add_int("windows", 6, "reporting windows");
   ncsw::bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  ncsw::bench::setup(cli);
 
   const int n = static_cast<int>(cli.get_int("inferences"));
   const int windows = static_cast<int>(cli.get_int("windows"));
@@ -114,5 +115,6 @@ int main(int argc, char** argv) {
                "hold; in a sealed chassis sustained inference throttles "
                "hard and throughput drops ~2x — worth knowing before "
                "packing 8+ sticks into an HPC node.\n";
+  ncsw::bench::finalize(cli);
   return 0;
 }

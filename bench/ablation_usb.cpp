@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   cli.add_int("devices", 8, "NCS sticks");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   const int devices = static_cast<int>(cli.get_int("devices"));
   const std::int64_t images = cli.get_int("images");
@@ -55,5 +56,6 @@ int main(int argc, char** argv) {
          "execution — the paper's mixed topology is as good as dedicated "
          "ports. On a USB 2.0 uplink the same transfer takes ~9 ms and "
          "eight sticks saturate the shared link.\n";
+  bench::finalize(cli);
   return 0;
 }

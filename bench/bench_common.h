@@ -1,12 +1,19 @@
 // Shared helpers for the figure-reproduction harnesses: uniform table
-// printing and optional CSV emission.
+// printing, optional CSV emission, machine-readable bench reports
+// (BENCH_<name>.json, schema "ncsw-bench-v1") and simulated-clock trace
+// capture (--trace out.json, viewable in Perfetto). Schemas are
+// documented in docs/architecture.md.
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace ncsw::bench {
 
@@ -23,6 +30,125 @@ inline void emit(const util::Table& table, const util::Cli& cli) {
 /// Register the flags every harness shares.
 inline void add_common_flags(util::Cli& cli) {
   cli.add_string("csv", "", "also write the table as CSV to this path");
+  cli.add_string("json", "",
+                 "machine-readable report path (default BENCH_<name>.json; "
+                 "'none' disables)");
+  cli.add_string("trace", "",
+                 "write a simulated-clock Chrome trace (Perfetto) here");
+  cli.add_bool("trace-layers", false,
+               "include one span per network layer in the trace");
+}
+
+/// Arm the tracer according to --trace/--trace-layers. Call after
+/// cli.parse() and before any simulated work.
+inline void setup(const util::Cli& cli) {
+  auto& t = util::tracer();
+  t.reset();
+  if (!cli.get_string("trace").empty()) {
+    t.set_detail(cli.get_bool("trace-layers") ? util::TraceDetail::kLayers
+                                              : util::TraceDetail::kSpans);
+    t.set_enabled(true);
+  }
+}
+
+/// Write the trace file if one was requested. Call once all simulated
+/// work is done.
+inline void finalize(const util::Cli& cli) {
+  const std::string path = cli.get_string("trace");
+  if (path.empty()) return;
+  auto& t = util::tracer();
+  t.write(path);
+  std::cout << "(trace with " << t.size() << " events written to " << path
+            << "; open in Perfetto / chrome://tracing)\n";
+  t.set_enabled(false);
+}
+
+/// Machine-readable result of one harness run (schema "ncsw-bench-v1"):
+/// the bench name, the configuration it ran with, paper-anchor
+/// comparisons and free-form measured values. All timing is simulated.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Record a configuration knob (shows up under "config").
+  void config(const std::string& key, std::int64_t v) {
+    config_.emplace_back(key, util::JsonWriter::number(static_cast<double>(v)));
+  }
+  void config(const std::string& key, double v) {
+    config_.emplace_back(key, util::JsonWriter::number(v));
+  }
+  void config(const std::string& key, const std::string& v) {
+    config_.emplace_back(key, "\"" + util::JsonWriter::escape(v) + "\"");
+  }
+
+  /// Compare a measured value against its paper anchor; ratio is
+  /// measured/paper (null when the paper value is zero).
+  void anchor(const std::string& metric, const std::string& unit, double paper,
+              double measured) {
+    anchors_.push_back({metric, unit, paper, measured});
+  }
+
+  /// Record an extra measured value (shows up under "values").
+  void value(const std::string& key, double v) {
+    values_.emplace_back(key, util::JsonWriter::number(v));
+  }
+  void value(const std::string& key, const std::string& v) {
+    values_.emplace_back(key, "\"" + util::JsonWriter::escape(v) + "\"");
+  }
+
+  /// Serialise the report as JSON.
+  std::string to_json() const {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("ncsw-bench-v1");
+    w.key("bench").value(bench_);
+    w.key("clock").value("simulated");
+    w.key("config").begin_object();
+    for (const auto& [k, v] : config_) w.key(k).raw(v);
+    w.end_object();
+    w.key("anchors").begin_array();
+    for (const auto& a : anchors_) {
+      w.begin_object();
+      w.key("metric").value(a.metric);
+      w.key("unit").value(a.unit);
+      w.key("paper").value(a.paper);
+      w.key("measured").value(a.measured);
+      if (a.paper != 0.0) {
+        w.key("ratio").value(a.measured / a.paper);
+      } else {
+        w.key("ratio").null();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.key("values").begin_object();
+    for (const auto& [k, v] : values_) w.key(k).raw(v);
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+ private:
+  struct Anchor {
+    std::string metric;
+    std::string unit;
+    double paper;
+    double measured;
+  };
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;  // key, raw JSON
+  std::vector<Anchor> anchors_;
+  std::vector<std::pair<std::string, std::string>> values_;  // key, raw JSON
+};
+
+/// Write the report unless --json=none; default path BENCH_<name>.json.
+inline void write_report(const BenchReport& report, const util::Cli& cli) {
+  std::string path = cli.get_string("json");
+  if (path == "none") return;
+  if (path.empty()) path = "BENCH_" + cli.program() + ".json";
+  util::write_file(path, report.to_json() + "\n");
+  std::cout << "(report written to " << path << ")\n";
 }
 
 }  // namespace ncsw::bench

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
                 "E9 — CMX-tiled GEMM on the VPU: Gflops and Gflops/W");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   mdk::MdkContext ctx;
 
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
             << "shape (Ionica & Gregg, IEEE Micro'15): the Myriad sustains "
                "an order of magnitude better Gflops/W on tiled GEMM than a "
                "server CPU, at ~1 W absolute draw.\n";
+  bench::finalize(cli);
   return 0;
 }

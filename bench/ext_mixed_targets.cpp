@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_int("devices", 8, "NCS sticks in the VPU group");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   const std::int64_t images = cli.get_int("images");
   auto bundle = core::ModelBundle::googlenet_reference();
@@ -64,5 +65,6 @@ int main(int argc, char** argv) {
             << "x the best single target; the partition keeps every "
                "engine busy and all three finish within "
             << util::Table::num(makespan, 1) << " s.\n";
+  bench::finalize(cli);
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
                 "E8 — every zoo network on one stick vs CPU/GPU");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   const auto cpu = devices::make_cpu_model();
   const auto gpu = devices::make_gpu_model();
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
                "shape: SqueezeNet's 4x fewer MACs buy ~3x lower stick "
                "latency; AlexNet's huge FC layers are DMA-bound so its "
                "latency is GoogLeNet-class despite fewer MACs.\n";
+  bench::finalize(cli);
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_int("classes", 30, "synthetic classes");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   dataset::DatasetConfig data_cfg;
   data_cfg.num_classes = static_cast<int>(cli.get_int("classes"));
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
                "global average pool averages much of it away, and softmax "
                "renormalisation leaves sub-percent confidence deltas "
                "(paper Fig. 7b: 0.44%).\n";
+  bench::finalize(cli);
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
                 "E10 — SIPP hardware filters vs SHAVE software");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   auto pipeline = sipp::make_vision_frontend();
   myriad::MyriadConfig chip;
@@ -60,5 +61,6 @@ int main(int argc, char** argv) {
             << " ms (" << util::Table::num(stats.avg_power_w * 1e3, 0)
             << " mW extra) — preprocessing rides along for free, as the "
                "paper's architecture section promises.\n";
+  bench::finalize(cli);
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   cli.add_int("devices", 8, "NCS sticks in the testbed");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   core::experiments::TimingSettings s;
   s.images_per_subset = cli.get_int("images");
@@ -52,5 +53,17 @@ int main(int argc, char** argv) {
             << util::Table::num(gpu.mean(), 1) << " | VPU "
             << util::Table::num(vpu.mean(), 1) << " img/s; CPU is "
             << util::Table::num(cpu_gap, 1) << "% slower\n";
+
+  bench::BenchReport report("fig6a_throughput");
+  report.config("images", s.images_per_subset);
+  report.config("subsets", static_cast<std::int64_t>(s.subsets));
+  report.config("batch", static_cast<std::int64_t>(s.batch));
+  report.config("devices", static_cast<std::int64_t>(s.devices));
+  report.anchor("cpu_img_per_s", "img/s", 44.0, cpu.mean());
+  report.anchor("gpu_img_per_s", "img/s", 74.2, gpu.mean());
+  report.anchor("vpu_img_per_s", "img/s", 77.2, vpu.mean());
+  report.value("cpu_gap_vs_vpu_pct", cpu_gap);
+  bench::write_report(report, cli);
+  bench::finalize(cli);
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.add_int("devices", 8, "NCS sticks available");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   const auto result = core::experiments::fig6b(
       cli.get_int("images"), {1, 2, 4, 8},
@@ -35,5 +36,21 @@ int main(int argc, char** argv) {
             << " | VPU " << util::Table::num(result.vpu_base_ms, 1) << "\n"
             << "paper at batch 8: CPU +14.7% (1.1x) | GPU +92.5% (1.9x) | "
                "VPU close to 8x\n";
+
+  bench::BenchReport report("fig6b_scaling");
+  report.config("images", cli.get_int("images"));
+  report.config("devices", cli.get_int("devices"));
+  report.anchor("cpu_base_ms", "ms", 26.0, result.cpu_base_ms);
+  report.anchor("gpu_base_ms", "ms", 25.9, result.gpu_base_ms);
+  report.anchor("vpu_base_ms", "ms", 100.7, result.vpu_base_ms);
+  for (const auto& r : result.rows) {
+    if (r.batch == 8) {
+      report.anchor("cpu_scaling_b8", "x", 1.147, r.cpu);
+      report.anchor("gpu_scaling_b8", "x", 1.925, r.gpu);
+      report.anchor("vpu_scaling_b8", "x", 7.8, r.vpu);
+    }
+  }
+  bench::write_report(report, cli);
+  bench::finalize(cli);
   return 0;
 }

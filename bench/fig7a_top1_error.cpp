@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   cli.add_int("classes", 50, "synthetic classes");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   core::experiments::ErrorSettings s;
   s.images_per_subset = cli.get_int("images");
@@ -49,5 +50,15 @@ int main(int argc, char** argv) {
             << "% | VPU " << util::Table::num(vpu.mean() * 100, 2)
             << "% (delta "
             << util::Table::num((vpu.mean() - cpu.mean()) * 100, 2) << "%)\n";
+
+  bench::BenchReport report("fig7a_top1_error");
+  report.config("images", s.images_per_subset);
+  report.config("subsets", static_cast<std::int64_t>(s.data.subsets));
+  report.config("classes", static_cast<std::int64_t>(s.data.num_classes));
+  report.anchor("cpu_top1_error_pct", "%", 32.01, cpu.mean() * 100);
+  report.anchor("vpu_top1_error_pct", "%", 31.92, vpu.mean() * 100);
+  report.value("fp16_delta_pct", (vpu.mean() - cpu.mean()) * 100);
+  bench::write_report(report, cli);
+  bench::finalize(cli);
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   cli.add_int("classes", 50, "synthetic classes");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   core::experiments::ErrorSettings s;
   s.images_per_subset = cli.get_int("images");
@@ -41,5 +42,13 @@ int main(int argc, char** argv) {
             << "measured: " << util::Table::num(diff.mean() * 100, 3)
             << "% (sub-percent, same conclusion: FP16 does not "
                "meaningfully perturb the network output)\n";
+
+  bench::BenchReport report("fig7b_confidence");
+  report.config("images", s.images_per_subset);
+  report.config("subsets", static_cast<std::int64_t>(s.data.subsets));
+  report.config("classes", static_cast<std::int64_t>(s.data.num_classes));
+  report.anchor("mean_abs_conf_diff_pct", "%", 0.44, diff.mean() * 100);
+  bench::write_report(report, cli);
+  bench::finalize(cli);
   return 0;
 }

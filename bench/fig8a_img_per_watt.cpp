@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_int("devices", 8, "NCS sticks available");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   const auto rows = core::experiments::fig8a(
       cli.get_int("images"), {1, 2, 4, 8},
@@ -45,5 +46,20 @@ int main(int argc, char** argv) {
             << " W (TDP 0.9 W), energy "
             << util::Table::num(profile.energy_j * 1e3, 1)
             << " mJ per inference\n";
+
+  bench::BenchReport report("fig8a_img_per_watt");
+  report.config("images", cli.get_int("images"));
+  report.config("devices", cli.get_int("devices"));
+  for (const auto& r : rows) {
+    if (r.batch == 1) report.anchor("vpu_img_per_w_b1", "img/W", 3.97, r.vpu);
+    if (r.batch == 8) {
+      report.anchor("cpu_img_per_w_b8", "img/W", 0.55, r.cpu);
+      report.anchor("gpu_img_per_w_b8", "img/W", 0.93, r.gpu);
+    }
+  }
+  report.value("sim_chip_avg_power_w", profile.avg_power_w);
+  report.value("sim_energy_mj_per_inference", profile.energy_j * 1e3);
+  bench::write_report(report, cli);
+  bench::finalize(cli);
   return 0;
 }

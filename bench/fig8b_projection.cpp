@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_int("devices", 8, "physically available sticks (beyond = dashed)");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   const auto rows = core::experiments::fig8b(
       cli.get_int("images"), {1, 2, 4, 8, 16},
@@ -40,5 +41,16 @@ int main(int argc, char** argv) {
             << util::Table::num(last.vpu, 1) << " img/s ("
             << util::Table::num(last.vpu / last.cpu, 1) << "x CPU, "
             << util::Table::num(last.vpu / last.gpu, 1) << "x GPU)\n";
+
+  bench::BenchReport report("fig8b_projection");
+  report.config("images", cli.get_int("images"));
+  report.config("devices", cli.get_int("devices"));
+  report.anchor("cpu_max_img_per_s", "img/s", 44.5, last.cpu);
+  report.anchor("gpu_max_img_per_s", "img/s", 79.9, last.gpu);
+  report.anchor("vpu_16chip_img_per_s", "img/s", 153.0, last.vpu);
+  report.value("vpu_vs_cpu_x", last.vpu / last.cpu);
+  report.value("vpu_vs_gpu_x", last.vpu / last.gpu);
+  bench::write_report(report, cli);
+  bench::finalize(cli);
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_int("top", 15, "how many of the slowest layers to list");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   auto bundle = core::ModelBundle::googlenet_reference();
 
@@ -76,5 +77,6 @@ int main(int argc, char** argv) {
             << " ms | simulated events: " << profile.sim_events
             << " | avg power: " << util::Table::num(profile.avg_power_w, 2)
             << " W\n";
+  bench::finalize(cli);
   return 0;
 }

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   util::Cli cli("table_testbed", "Section IV testbed characteristics");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
 
   auto bundle = core::ModelBundle::googlenet_reference();
   auto cpu = core::make_cpu_target(bundle);
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
   arch.add_row({"NCS stick peak",
                 util::Table::num(myriad::TdpConstants::kNcsStickW, 1) + " W"});
   std::cout << "\n" << arch.to_string();
+  bench::finalize(cli);
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include "mvnc/mvnc.h"
 #include "myriad/myriad.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ncsw::core {
 
@@ -107,6 +109,11 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
   // next image to whichever stick's host cursor is earliest.
   std::vector<bool> alive(static_cast<std::size_t>(active), true);
   int alive_count = active;
+  auto& reg = util::metrics();
+  static util::Counter& m_images = reg.counter("core.sched.images");
+  static util::Counter& m_retries =
+      reg.counter("core.sched.failover_retries");
+  std::vector<std::uint64_t> assigned(static_cast<std::size_t>(active), 0);
   for (std::int64_t i = 0; i < images; ++i) {
     // Each image retries on another stick when its stick vanishes
     // (MVNC_GONE — an unplugged NCS): the runner degrades gracefully
@@ -134,6 +141,7 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
       if (load_st == mvnc::MVNC_GONE) {
         alive[pick] = false;
         --alive_count;
+        m_retries.add(1);
         continue;
       }
       if (load_st != mvnc::MVNC_OK) {
@@ -145,6 +153,7 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
       if (get_st == mvnc::MVNC_GONE) {
         alive[pick] = false;
         --alive_count;
+        m_retries.add(1);
         continue;  // the in-flight inference was lost: redo the image
       }
       if (get_st != mvnc::MVNC_OK) {
@@ -154,8 +163,27 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
       if (!ticket) throw std::runtime_error("run_timed: missing ticket");
       run.per_image_ms.add((ticket->result_ready - ticket->issue) * 1e3);
       last_completion = std::max(last_completion, ticket->result_ready);
+      ++assigned[pick];
       break;
     }
+  }
+  m_images.add(static_cast<std::uint64_t>(images));
+  for (std::size_t d = 0; d < assigned.size(); ++d) {
+    if (assigned[d] > 0) {
+      reg.counter("core.sched.assigned.dev" + std::to_string(d))
+          .add(assigned[d]);
+    }
+  }
+  auto& tr = util::tracer();
+  if (tr.enabled()) {
+    tr.complete("core", "run_timed", tr.lane("scheduler"), t0, last_completion,
+                {util::TraceArg::num("images", images),
+                 util::TraceArg::num("batch", static_cast<std::int64_t>(batch)),
+                 util::TraceArg::str("policy",
+                                     config_.scheduling ==
+                                             Scheduling::kLeastLoaded
+                                         ? "least-loaded"
+                                         : "round-robin")});
   }
   run.seconds = last_completion - t0;
   return run;

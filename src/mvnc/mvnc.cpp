@@ -10,6 +10,8 @@
 
 #include "mvnc/sim_host.h"
 #include "tensor/tensor.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ncsw::mvnc {
 
@@ -311,6 +313,11 @@ mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
       static_cast<unsigned int>(g->compiled.input_bytes());
   if (inputTensorLength != expected) return MVNC_INVALID_PARAMETERS;
 
+  static util::Counter& m_loads =
+      util::metrics().counter("mvnc.load_tensor.calls");
+  static util::Counter& m_busy = util::metrics().counter("mvnc.busy");
+  m_loads.add(1);
+  const double issued_at = g->host_clock;
   std::optional<ncs::InferenceTicket> ticket;
   try {
     ticket = g->dev->device->load_tensor(g->host_clock, userParam);
@@ -318,8 +325,21 @@ mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
     g->pending.clear();
     return MVNC_GONE;
   }
-  if (!ticket) return MVNC_BUSY;
+  if (!ticket) {
+    m_busy.add(1);
+    return MVNC_BUSY;
+  }
   g->host_clock = ticket->input_done;
+  auto& tr = util::tracer();
+  if (tr.enabled()) {
+    // The API-call lifecycle on the host lane: issue -> input transferred
+    // (the non-blocking half of Listing 1's split).
+    tr.complete(
+        "mvnc", "LoadTensor",
+        tr.lane("dev" + std::to_string(g->dev->device->id()) + " host"),
+        issued_at, ticket->input_done,
+        {util::TraceArg::num("seq", static_cast<std::int64_t>(ticket->seq))});
+  }
 
   GraphState::Pending pending;
   pending.user = userParam;
@@ -352,6 +372,10 @@ mvncStatus mvncGetResult(void* graphHandle, void** outputData,
 
   std::lock_guard glock(g->mutex);
   if (g->pending.empty()) return MVNC_NO_DATA;
+  static util::Counter& m_gets =
+      util::metrics().counter("mvnc.get_result.calls");
+  m_gets.add(1);
+  const double wait_from = g->host_clock;
   std::optional<ncs::InferenceTicket> ticket;
   try {
     ticket = g->dev->device->get_result(g->host_clock);
@@ -364,6 +388,16 @@ mvncStatus mvncGetResult(void* graphHandle, void** outputData,
   GraphState::Pending pending = std::move(g->pending.front());
   g->pending.pop_front();
   g->host_clock = ticket->result_ready + g->inter_op_gap;
+  auto& tr = util::tracer();
+  if (tr.enabled()) {
+    // Host blocked from the call until the output landed (the blocking
+    // half of the split).
+    tr.complete(
+        "mvnc", "GetResult",
+        tr.lane("dev" + std::to_string(g->dev->device->id()) + " host"),
+        wait_from, ticket->result_ready,
+        {util::TraceArg::num("seq", static_cast<std::int64_t>(ticket->seq))});
+  }
   g->last_ticket = *ticket;
   g->last_output = std::move(pending.output);
 

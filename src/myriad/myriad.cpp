@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace ncsw::myriad {
 
 Myriad2::Myriad2(const MyriadConfig& config) : config_(config) {
@@ -143,6 +145,30 @@ InferenceProfile Myriad2::execute(const graphc::CompiledGraph& graph) const {
                      profile.total_s * config_.p_base;
   profile.avg_power_w =
       profile.total_s > 0.0 ? profile.energy_j / profile.total_s : 0.0;
+
+  // Chip-level occupancy aggregates: how busy the SHAVE array and the
+  // DDR interface were over this execution, and the per-layer spread.
+  auto& reg = util::metrics();
+  static util::Counter& m_execs = reg.counter("myriad.executions");
+  static util::Counter& m_layers = reg.counter("myriad.layers");
+  static util::Histogram& m_layer_ms = reg.histogram("myriad.layer_ms");
+  static util::Histogram& m_shave_util =
+      reg.histogram("myriad.shave_util",
+                    {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  m_execs.add(1);
+  m_layers.add(profile.layers.size());
+  for (const auto& lp : profile.layers) {
+    if (lp.time_s <= 0.0) continue;
+    m_layer_ms.record(lp.time_s * 1e3);
+    m_shave_util.record(lp.shave_utilization);
+  }
+  reg.gauge("myriad.last.shave_busy_frac")
+      .set(profile.total_s > 0.0
+               ? shave_busy_total /
+                     (profile.total_s * static_cast<double>(config_.num_shaves))
+               : 0.0);
+  reg.gauge("myriad.last.ddr_busy_frac")
+      .set(profile.total_s > 0.0 ? ddr.busy_time() / profile.total_s : 0.0);
   return profile;
 }
 

@@ -4,11 +4,23 @@
 #include <stdexcept>
 
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace ncsw::ncs {
 
 NcsDevice::NcsDevice(int id, UsbChannel& channel, const NcsConfig& config)
-    : id_(id), channel_(channel), config_(config), thermal_(config.thermal) {
+    : id_(id),
+      channel_(channel),
+      config_(config),
+      m_inferences_(util::metrics().counter(
+          "ncs.dev" + std::to_string(id) + ".inferences")),
+      m_fifo_rejects_(util::metrics().counter(
+          "ncs.dev" + std::to_string(id) + ".fifo_rejects")),
+      m_temp_c_(util::metrics().gauge(
+          "ncs.dev" + std::to_string(id) + ".temp_c")),
+      m_exec_ms_(util::metrics().histogram("ncs.exec_ms")),
+      m_queue_wait_ms_(util::metrics().histogram("ncs.queue_wait_ms")),
+      thermal_(config.thermal) {
   if (config_.fifo_depth < 1) {
     throw std::invalid_argument("NcsDevice: fifo_depth < 1");
   }
@@ -22,6 +34,11 @@ sim::SimTime NcsDevice::open(sim::SimTime host_time) {
       channel_.transfer(host_time, 1'800'000);
   ready_at_ = window.end + config_.firmware_boot_s;
   open_ = true;
+  auto& t = util::tracer();
+  if (t.enabled()) {
+    t.complete("ncs", "boot", t.lane("dev" + std::to_string(id_) + " host"),
+               window.start, ready_at_);
+  }
   return ready_at_;
 }
 
@@ -74,6 +91,14 @@ sim::SimTime NcsDevice::allocate_graph(const graphc::CompiledGraph& graph,
   profile_ = chip.execute(graph);
   graph_ = graph;
   shave_free_at_ = ready_at_;
+  auto& t = util::tracer();
+  if (t.enabled()) {
+    t.complete("ncs", "allocate_graph",
+               t.lane("dev" + std::to_string(id_) + " host"), window.start,
+               ready_at_,
+               {util::TraceArg::str("net", graph.net_name),
+                util::TraceArg::num("blob_bytes", blob_bytes)});
+  }
   return ready_at_;
 }
 
@@ -112,6 +137,7 @@ std::optional<InferenceTicket> NcsDevice::load_tensor(sim::SimTime host_time,
     throw std::logic_error("NcsDevice::load_tensor: device not ready");
   }
   if (static_cast<int>(fifo_.size()) >= config_.fifo_depth) {
+    m_fifo_rejects_.add(1);
     return std::nullopt;  // MVNC_BUSY
   }
   InferenceTicket t;
@@ -140,8 +166,45 @@ std::optional<InferenceTicket> NcsDevice::load_tensor(sim::SimTime host_time,
   t.exec_end = t.exec_start + exec_time;
   shave_free_at_ = t.exec_end;
 
+  if (config_.thermal_enabled) {
+    m_temp_c_.set(thermal_.temperature_c());
+  }
+  trace_inference(t);
+
   fifo_.push_back(t);
   return t;
+}
+
+void NcsDevice::trace_inference(const InferenceTicket& t) const {
+  auto& tr = util::tracer();
+  if (!tr.enabled()) return;
+  const std::string dev = "dev" + std::to_string(id_);
+  tr.complete("ncs", "exec", tr.lane(dev + " shave"), t.exec_start,
+              t.exec_end,
+              {util::TraceArg::num("seq", static_cast<std::int64_t>(t.seq)),
+               util::TraceArg::num("queue_wait_ms",
+                                   (t.exec_start - t.input_done) * 1e3)});
+  if (config_.thermal_enabled) {
+    tr.counter(dev + " temp_c", t.exec_start, thermal_.temperature_c());
+  }
+  if (tr.layers_enabled() && profile_.total_s > 0.0) {
+    // Project the chip profile's layer offsets onto this inference's
+    // execution window (thermal throttling / jitter stretch it
+    // uniformly, which is exactly how the firmware slows down).
+    const double scale = (t.exec_end - t.exec_start) / profile_.total_s;
+    const int lane = tr.lane(dev + " layers");
+    for (const auto& lp : profile_.layers) {
+      if (lp.time_s <= 0.0) continue;
+      const double start = t.exec_start + lp.start_s * scale;
+      tr.complete(
+          "myriad.layer", lp.name, lane, start, start + lp.time_s * scale,
+          {util::TraceArg::str("kind", nn::layer_kind_name(lp.kind)),
+           util::TraceArg::num("compute_ms", lp.compute_s * 1e3),
+           util::TraceArg::num("dma_ms", lp.dma_s * 1e3),
+           util::TraceArg::num("tiles", static_cast<std::int64_t>(lp.tiles)),
+           util::TraceArg::num("shave_util", lp.shave_utilization)});
+    }
+  }
 }
 
 std::optional<InferenceTicket> NcsDevice::get_result(sim::SimTime host_time) {
@@ -165,6 +228,9 @@ std::optional<InferenceTicket> NcsDevice::get_result(sim::SimTime host_time) {
   last_completion_ = std::max(last_completion_, t.result_ready);
   energy_j_ += profile_.energy_j +
                (t.exec_end - t.exec_start) * config_.stick_overhead_w;
+  m_inferences_.add(1);
+  m_exec_ms_.record((t.exec_end - t.exec_start) * 1e3);
+  m_queue_wait_ms_.record((t.exec_start - t.input_done) * 1e3);
   return t;
 }
 

@@ -23,6 +23,7 @@
 #include "myriad/myriad.h"
 #include "ncs/thermal.h"
 #include "ncs/usb.h"
+#include "util/metrics.h"
 
 namespace ncsw::ncs {
 
@@ -159,10 +160,20 @@ class NcsDevice {
 
  private:
   sim::SimTime jittered_exec_time(std::uint64_t seq) const;
+  /// Emit the trace spans of a freshly scheduled inference (caller holds
+  /// mutex_; no-op when tracing is off).
+  void trace_inference(const InferenceTicket& t) const;
 
   const int id_;
   UsbChannel& channel_;
   const NcsConfig config_;
+
+  // Cached registry instruments (valid across registry resets).
+  util::Counter& m_inferences_;
+  util::Counter& m_fifo_rejects_;
+  util::Gauge& m_temp_c_;
+  util::Histogram& m_exec_ms_;
+  util::Histogram& m_queue_wait_ms_;
 
   mutable std::mutex mutex_;
   bool open_ = false;

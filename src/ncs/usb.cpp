@@ -1,12 +1,18 @@
 #include "ncs/usb.h"
 
+#include "util/trace.h"
+
 namespace ncsw::ncs {
 
 UsbLinkParams usb3_link() noexcept { return UsbLinkParams{350e6, 120e-6}; }
 UsbLinkParams usb2_link() noexcept { return UsbLinkParams{35e6, 250e-6}; }
 
 UsbChannel::UsbChannel(std::string name, const UsbLinkParams& params)
-    : name_(std::move(name)), params_(params), link_(name_) {
+    : name_(std::move(name)),
+      params_(params),
+      link_(name_),
+      m_bytes_(util::metrics().counter("usb." + name_ + ".bytes")),
+      m_transfers_(util::metrics().counter("usb." + name_ + ".transfers")) {
   if (params_.bandwidth <= 0 || params_.per_transfer_latency < 0) {
     throw std::invalid_argument("UsbChannel: bad link parameters");
   }
@@ -21,9 +27,25 @@ sim::SimTime UsbChannel::duration(std::int64_t bytes) const noexcept {
 UsbChannel::Window UsbChannel::transfer(sim::SimTime earliest,
                                         std::int64_t bytes) {
   const sim::SimTime dur = duration(bytes);
-  std::lock_guard lock(mutex_);
-  const sim::SimTime start = link_.reserve(earliest, dur);
-  return Window{start, start + dur};
+  Window window;
+  {
+    std::lock_guard lock(mutex_);
+    const sim::SimTime start = link_.reserve(earliest, dur);
+    window = Window{start, start + dur};
+  }
+  m_transfers_.add(1);
+  if (bytes > 0) m_bytes_.add(static_cast<std::uint64_t>(bytes));
+  auto& t = util::tracer();
+  if (t.enabled()) {
+    // Queueing delay (hub contention) shows as the gap between `earliest`
+    // and the span start; the span itself is pure wire occupancy.
+    t.complete("usb", "transfer", t.lane("usb " + name_), window.start,
+               window.end,
+               {util::TraceArg::num("bytes", static_cast<std::int64_t>(bytes)),
+                util::TraceArg::num("queued_us",
+                                    (window.start - earliest) * 1e6)});
+  }
+  return window;
 }
 
 sim::SimTime UsbChannel::busy_time() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "util/metrics.h"
 
 namespace ncsw::ncs {
 
@@ -60,6 +61,9 @@ class UsbChannel {
   UsbLinkParams params_;
   mutable std::mutex mutex_;
   sim::IntervalResource link_;
+  // Registry instruments survive registry resets, so these stay valid.
+  util::Counter& m_bytes_;
+  util::Counter& m_transfers_;
 };
 
 /// Maps each stick to its upstream channel.

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace ncsw::sim {
+
+namespace {
+
+// Process-wide dispatch counters. Engines are created per graph
+// execution, so aggregation lives in the registry, not the engine.
+util::Counter& events_counter() {
+  static util::Counter& c = util::metrics().counter("sim.engine.events");
+  return c;
+}
+
+util::Counter& runs_counter() {
+  static util::Counter& c = util::metrics().counter("sim.engine.runs");
+  return c;
+}
+
+}  // namespace
 
 void Engine::schedule(SimTime delay, Callback cb) {
   if (delay < 0.0) throw std::invalid_argument("Engine::schedule: delay < 0");
@@ -18,6 +36,7 @@ void Engine::schedule_at(SimTime when, Callback cb) {
 }
 
 SimTime Engine::run() {
+  const std::uint64_t before = executed_;
   while (!queue_.empty()) {
     // Copy out then pop: the callback may schedule new events.
     Event ev = queue_.top();
@@ -26,10 +45,13 @@ SimTime Engine::run() {
     ++executed_;
     ev.cb();
   }
+  events_counter().add(executed_ - before);
+  runs_counter().add(1);
   return now_;
 }
 
 SimTime Engine::run_until(SimTime deadline) {
+  const std::uint64_t before = executed_;
   while (!queue_.empty() && queue_.top().time <= deadline) {
     Event ev = queue_.top();
     queue_.pop();
@@ -38,6 +60,8 @@ SimTime Engine::run_until(SimTime deadline) {
     ev.cb();
   }
   now_ = std::max(now_, deadline);
+  events_counter().add(executed_ - before);
+  runs_counter().add(1);
   return now_;
 }
 

@@ -37,6 +37,10 @@ class Cli {
     return positional_;
   }
 
+  /// The program name this Cli was constructed with (used by the bench
+  /// helpers to derive default output paths).
+  const std::string& program() const noexcept { return program_; }
+
   /// Render the help text.
   std::string help() const;
 

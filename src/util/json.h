@@ -1,0 +1,83 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// with deterministic number formatting (trace files and bench reports
+// must be byte-identical across runs of the same build), and a small
+// recursive-descent parser used by tests and tools to validate and
+// inspect what the writers produced. Not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ncsw::util {
+
+/// Streaming JSON builder. Handles commas and nesting; the caller is
+/// responsible for well-formed begin/end pairing (checked with throws).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member name; must be followed by exactly one value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splice a pre-rendered JSON fragment as one value (no validation).
+  JsonWriter& raw(const std::string& fragment);
+
+  /// The finished document; throws when containers are still open.
+  const std::string& str() const;
+
+  /// JSON string escaping (adds no quotes).
+  static std::string escape(const std::string& s);
+  /// Deterministic number rendering: integers exactly, other finite
+  /// values via %.12g, non-finite as null.
+  static std::string number(double v);
+
+ private:
+  void pre_value();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one per open container
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document node. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& name) const;
+  /// Chained lookup: find(a)->find(b)... ; nullptr on any miss.
+  const JsonValue* at_path(const std::vector<std::string>& path) const;
+
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+};
+
+/// Parse a complete JSON document. Returns nullopt on malformed input
+/// (and sets `error` to a short description when given).
+std::optional<JsonValue> json_parse(const std::string& text,
+                                    std::string* error = nullptr);
+
+}  // namespace ncsw::util

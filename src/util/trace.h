@@ -1,0 +1,166 @@
+// Structured tracing on the *simulated* clock.
+//
+// The simulator's value proposition (seeing LoadTensor / execution /
+// GetResult overlap across sticks, USB hub contention, SHAVE occupancy)
+// is only demonstrable with an inspectable timeline. This tracer collects
+// spans and counter samples keyed to simulated seconds and serialises
+// them in the Chrome trace-event JSON format, so any run can be opened
+// in Perfetto / chrome://tracing.
+//
+// Conventions (documented in docs/architecture.md):
+//  - times are simulated seconds at the API, microseconds in the file;
+//  - a "lane" is a named horizontal track (one per device timeline, USB
+//    channel, scheduler, ...) mapped to a Chrome `tid`;
+//  - span categories: "mvnc" (API-call lifecycles), "ncs" (device
+//    firmware/exec), "usb" (link transfers), "myriad.layer" (per-layer
+//    execution, detail level kLayers), "core" (scheduler / runs);
+//  - tracing is off by default and costs one relaxed atomic load per
+//    call site when disabled.
+//
+// Thread-safe. Determinism: with tracing driven from one host thread
+// (all timed benches), the serialised output is byte-identical across
+// runs of the same build; under concurrent emission the events are
+// time-sorted on write so the output is still stable for distinct
+// timestamps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ncsw::util {
+
+/// How much the instrumented subsystems emit.
+enum class TraceDetail : int {
+  kSpans = 0,   ///< per-operation spans (transfers, exec, API calls)
+  kLayers = 1,  ///< + one span per network layer per inference
+};
+
+/// One key/value pair attached to a span ("args" in the trace format).
+/// The value is a pre-rendered JSON scalar.
+struct TraceArg {
+  std::string key;
+  std::string value;
+
+  static TraceArg num(std::string k, double v);
+  static TraceArg num(std::string k, std::int64_t v);
+  static TraceArg str(std::string k, const std::string& v);
+};
+
+/// Collects trace events; usually accessed through the global tracer().
+class Tracer {
+ public:
+  /// Cheap gate for call sites: relaxed atomic load.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  TraceDetail detail() const noexcept {
+    return static_cast<TraceDetail>(detail_.load(std::memory_order_relaxed));
+  }
+  void set_detail(TraceDetail d) noexcept {
+    detail_.store(static_cast<int>(d), std::memory_order_relaxed);
+  }
+  /// enabled() && detail() >= kLayers, one call.
+  bool layers_enabled() const noexcept {
+    return enabled() && detail() == TraceDetail::kLayers;
+  }
+
+  /// Lane (Chrome `tid`) for `name`, registered on first use. The current
+  /// lane prefix is prepended, so phases of one bench can namespace their
+  /// timelines (e.g. "overlap-on dev0 shave" vs "overlap-off dev0 shave").
+  int lane(const std::string& name);
+
+  /// Prefix applied to subsequently requested lane names.
+  void set_lane_prefix(std::string prefix);
+
+  /// Record a complete span [start_s, end_s] (simulated seconds).
+  void complete(const std::string& cat, const std::string& name, int lane,
+                double start_s, double end_s,
+                std::vector<TraceArg> args = {});
+
+  /// Record a counter sample (rendered as a stacked chart by viewers).
+  void counter(const std::string& name, double t_s, double value);
+
+  /// Record an instant event (a vertical marker on the lane).
+  void instant(const std::string& cat, const std::string& name, int lane,
+               double t_s);
+
+  /// Events currently held (excluding dropped ones).
+  std::size_t size() const;
+  /// Events dropped after the capacity was reached.
+  std::uint64_t dropped() const;
+  /// Cap on retained events (default 1<<20); new events beyond it are
+  /// counted in dropped() instead of stored.
+  void set_capacity(std::size_t cap);
+
+  /// Drop all events, lanes, the prefix and the dropped counter.
+  /// enabled/detail are preserved.
+  void reset();
+
+  /// Serialise as Chrome trace-event JSON ({"traceEvents": [...]}).
+  std::string to_json() const;
+
+  /// to_json() to a file; throws std::runtime_error on IO failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete, 'C' counter, 'i' instant
+    std::string cat;
+    std::string name;
+    int tid;
+    double ts_us;
+    double dur_us;
+    std::string args_json;  // rendered "{...}" or empty
+  };
+
+  bool push(Event ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> detail_{static_cast<int>(TraceDetail::kSpans)};
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::vector<std::string> lanes_;  // index = tid
+  std::string lane_prefix_;
+  std::size_t capacity_ = 1u << 20;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The process-wide tracer every instrumented subsystem reports to.
+Tracer& tracer();
+
+/// Scoped span helper for host-driven sections where the end time is
+/// known at scope exit: construct with the start time, call end() with
+/// the simulated end time (the destructor emits; a span never ended
+/// collapses to zero duration at its start time).
+class TraceSpan {
+ public:
+  TraceSpan(std::string cat, std::string name, int lane, double start_s);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  void arg(std::string key, double v);
+  void arg(std::string key, std::int64_t v);
+  void arg(std::string key, const std::string& v);
+  void end(double end_s);
+
+ private:
+  std::string cat_;
+  std::string name_;
+  int lane_;
+  double start_s_;
+  double end_s_;
+  bool emitted_ = false;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace ncsw::util

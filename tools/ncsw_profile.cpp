@@ -5,6 +5,7 @@
 //
 //   ./build/tools/ncsw_profile --network googlenet
 //   ./build/tools/ncsw_profile --graph googlenet.blob
+//   ./build/tools/ncsw_profile --trace googlenet.trace.json   # Perfetto
 #include <fstream>
 #include <iostream>
 
@@ -14,6 +15,7 @@
 #include "nn/zoo.h"
 #include "util/cli.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -31,8 +33,21 @@ int main(int argc, char** argv) {
   cli.add_string("network", "", "build + compile this named network");
   cli.add_string("graph", "", "or load this compiled graph file");
   cli.add_int("rows", 0, "print only the N slowest layers (0 = all)");
+  cli.add_string("trace", "",
+                 "write a per-layer timeline (Chrome trace JSON) here");
+  cli.add_bool("trace-layers", true,
+               "include one span per layer in the trace");
+  cli.add_int("frames", 4, "inferences to run for the timeline");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    const std::string trace_path = cli.get_string("trace");
+    if (!trace_path.empty()) {
+      auto& t = util::tracer();
+      t.reset();
+      t.set_detail(cli.get_bool("trace-layers") ? util::TraceDetail::kLayers
+                                                : util::TraceDetail::kSpans);
+      t.set_enabled(true);
+    }
 
     std::vector<std::uint8_t> blob;
     if (!cli.get_string("graph").empty()) {
@@ -66,6 +81,26 @@ int main(int argc, char** argv) {
     const auto compiled = graphc::deserialize(blob);
     ncs::NcsDevice* device = mvnc::graph_device(graph);
     const auto& profile = device->profile();
+
+    // Run a few inferences so the trace shows real LoadTensor / exec /
+    // GetResult lifecycles (and the per-layer timeline) on the simulated
+    // clock, not just boot + allocation.
+    const std::int64_t frames = cli.get_int("frames");
+    std::vector<std::uint8_t> input(
+        static_cast<std::size_t>(compiled.input_bytes()), 0);
+    for (std::int64_t f = 0; f < frames; ++f) {
+      if (mvnc::mvncLoadTensor(graph, input.data(),
+                               static_cast<unsigned int>(input.size()),
+                               nullptr) != mvnc::MVNC_OK) {
+        throw std::runtime_error("mvncLoadTensor failed");
+      }
+      void* out = nullptr;
+      unsigned int out_len = 0;
+      if (mvnc::mvncGetResult(graph, &out, &out_len, nullptr) !=
+          mvnc::MVNC_OK) {
+        throw std::runtime_error("mvncGetResult failed");
+      }
+    }
 
     struct Row {
       std::size_t i;
@@ -113,6 +148,15 @@ int main(int argc, char** argv) {
                          profile.total_s / 1e9,
                      1)
               << " effective GFLOP/s\n";
+
+    if (!trace_path.empty()) {
+      auto& t = util::tracer();
+      t.write(trace_path);
+      std::cout << "(trace with " << t.size() << " events written to "
+                << trace_path
+                << "; open in Perfetto / chrome://tracing)\n";
+      t.set_enabled(false);
+    }
 
     mvnc::mvncDeallocateGraph(graph);
     mvnc::mvncCloseDevice(dev);
