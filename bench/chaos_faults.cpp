@@ -1,0 +1,191 @@
+// Chaos harness — graceful degradation of the self-healing multi-VPU
+// runtime under deterministic fault injection. Two experiments:
+//
+//  1. Storm sweep: for each stick count and per-stick fault rate, a
+//     scripted Poisson storm of transient faults (USB errors/stalls,
+//     busy storms, result stalls, forced throttling) hits the fleet and
+//     the retained throughput vs the fault-free baseline is recorded —
+//     the graceful-degradation curve.
+//  2. Hot-replug: one stick detaches mid-run and reattaches later; the
+//     runner must complete every image (replaying in-flight ones) and
+//     re-admit the recovered stick. `detach.images_lost` must be 0 —
+//     CI asserts it.
+//
+// Everything runs on the simulated clock from a scripted FaultPlan, so
+// the whole chaos suite is reproducible bit-for-bit.
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/model.h"
+#include "core/vpu_target.h"
+#include "util/metrics.h"
+
+namespace {
+
+std::string rate_label(double rate) {
+  // "0.5" -> "r0p5" (report keys avoid '.' inside a segment).
+  std::string s = ncsw::util::Table::num(rate, rate < 1.0 ? 1 : 0);
+  for (auto& c : s) {
+    if (c == '.') c = 'p';
+  }
+  return "r" + s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ncsw;
+  util::Cli cli("chaos_faults",
+                "graceful degradation under deterministic fault injection");
+  cli.add_int("images", 400, "images per measurement");
+  cli.add_int("devices", 8, "largest stick count in the sweep");
+  cli.add_int("seed", 42, "fault-plan seed");
+  cli.add_double("watchdog", 0.25, "GetResult watchdog budget (sim s)");
+  cli.add_double("mean-fault-s", 0.02, "mean fault-window duration (sim s)");
+  cli.add_double("detach-at", 1.0, "detach start of the hot-replug case");
+  cli.add_double("detach-for", 1.5, "detach duration of the hot-replug case");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
+
+  const std::int64_t images = cli.get_int("images");
+  const int max_devices = static_cast<int>(cli.get_int("devices"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double watchdog = cli.get_double("watchdog");
+  const double mean_fault = cli.get_double("mean-fault-s");
+  auto bundle = core::ModelBundle::googlenet_reference();
+
+  bench::BenchReport report("chaos_faults");
+  report.config("images", images);
+  report.config("devices", static_cast<std::int64_t>(max_devices));
+  report.config("seed", static_cast<std::int64_t>(seed));
+  report.config("watchdog_s", watchdog);
+  report.config("mean_fault_s", mean_fault);
+
+  auto make_config = [&](int n) {
+    core::VpuTargetConfig cfg;
+    cfg.devices = n;
+    cfg.health.watchdog_s = watchdog;
+    return cfg;
+  };
+
+  // --- 1. storm sweep: stick count x per-stick fault rate -------------
+  const double rates[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+  std::vector<int> stick_counts;
+  for (int n : {2, 4, 8}) {
+    if (n <= max_devices) stick_counts.push_back(n);
+  }
+  if (stick_counts.empty() || stick_counts.back() != max_devices) {
+    stick_counts.push_back(max_devices);
+  }
+
+  util::Table table("chaos: retained throughput under fault storms (" +
+                    std::to_string(images) + " images)");
+  table.set_header({"Sticks", "Faults/s/stick", "img/s", "Retained",
+                    "Replayed", "Lost", "Recoveries"});
+  int cell = 0;
+  for (int n : stick_counts) {
+    double baseline = 0.0;
+    for (double rate : rates) {
+      auto cfg = make_config(n);
+      // Past the cliff (every stick quarantined at once) the run reports
+      // lost images instead of throwing: that tail is the curve's point.
+      cfg.allow_partial = true;
+      // 600 s of scripted storm comfortably covers the longest cell.
+      cfg.faults = sim::FaultPlan::scripted_storm(
+          seed + static_cast<std::uint64_t>(cell++), n, rate, 600.0,
+          mean_fault);
+      core::VpuTarget vpu(bundle, cfg);
+      const auto run = vpu.run_timed(images, n);
+      const double tput = run.throughput();
+      if (rate == 0.0) baseline = tput;
+      const double retained = baseline > 0.0 ? tput / baseline : 0.0;
+      const std::string key =
+          "curve.d" + std::to_string(n) + "." + rate_label(rate);
+      report.value(key + ".img_per_s", tput);
+      report.value(key + ".throughput_retained", retained);
+      report.value(key + ".images_replayed",
+                   static_cast<double>(run.images_replayed));
+      report.value(key + ".images_lost",
+                   static_cast<double>(run.images_lost));
+      report.value(key + ".sticks_recovered",
+                   static_cast<double>(run.sticks_recovered));
+      table.add_row({std::to_string(n), util::Table::num(rate, 1),
+                     util::Table::num(tput, 1),
+                     util::Table::num(retained * 100, 0) + "%",
+                     std::to_string(run.images_replayed),
+                     std::to_string(run.images_lost),
+                     std::to_string(run.sticks_recovered)});
+    }
+  }
+  bench::emit(table, cli);
+
+  // --- 2. hot-replug: detach one stick mid-run, reattach later --------
+  const int n = max_devices;
+  const int victim = n > 3 ? 3 : n - 1;
+  const double detach_at = cli.get_double("detach-at");
+  const double detach_for = cli.get_double("detach-for");
+  report.config("detach_device", static_cast<std::int64_t>(victim));
+  report.config("detach_at_s", detach_at);
+  report.config("detach_for_s", detach_for);
+
+  double clean_tput = 0.0;
+  {
+    core::VpuTarget vpu(bundle, make_config(n));
+    clean_tput = vpu.run_timed(images, n).throughput();
+  }
+  auto& reg = util::metrics();
+  const std::string dev = "core.health.dev" + std::to_string(victim);
+  const auto replugs_before = reg.counter(dev + ".replug_recoveries").value();
+  const auto gone_before = reg.counter(dev + ".gone").value();
+
+  auto cfg = make_config(n);
+  cfg.faults.add(victim, sim::FaultKind::kDetach, detach_at, detach_for);
+  core::VpuTarget vpu(bundle, cfg);
+  const auto run = vpu.run_timed(images, n);
+
+  util::Table detach_table("chaos: hot-replug (stick " +
+                           std::to_string(victim) + " off the bus " +
+                           util::Table::num(detach_at, 1) + "s-" +
+                           util::Table::num(detach_at + detach_for, 1) + "s)");
+  detach_table.set_header({"Metric", "Value"});
+  detach_table.add_row({"images completed", std::to_string(run.images)});
+  detach_table.add_row({"images lost", std::to_string(run.images_lost)});
+  detach_table.add_row({"images replayed", std::to_string(run.images_replayed)});
+  detach_table.add_row({"sticks recovered", std::to_string(run.sticks_recovered)});
+  detach_table.add_row(
+      {"throughput retained",
+       util::Table::num(clean_tput > 0.0 ? run.throughput() / clean_tput * 100
+                                         : 0.0,
+                        0) +
+           "%"});
+  bench::emit(detach_table, cli);
+
+  report.value("detach.images_completed", static_cast<double>(run.images));
+  report.value("detach.images_lost", static_cast<double>(run.images_lost));
+  report.value("detach.images_replayed",
+               static_cast<double>(run.images_replayed));
+  report.value("detach.sticks_recovered",
+               static_cast<double>(run.sticks_recovered));
+  report.value("detach.throughput_retained",
+               clean_tput > 0.0 ? run.throughput() / clean_tput : 0.0);
+  report.value("detach.replug_recoveries",
+               static_cast<double>(
+                   reg.counter(dev + ".replug_recoveries").value() -
+                   replugs_before));
+  report.value("detach.gone_events",
+               static_cast<double>(reg.counter(dev + ".gone").value() -
+                                   gone_before));
+
+  std::cout << "\nconclusion: transient storms cost retries, not images — "
+               "throughput degrades smoothly with fault rate; a detached "
+               "stick is quarantined, its in-flight images replay on the "
+               "survivors, and after reattachment the runner re-allocates "
+               "the graph and re-admits it (images lost: "
+            << run.images_lost << ").\n";
+
+  bench::write_report(report, cli);
+  bench::finalize(cli);
+  return 0;
+}

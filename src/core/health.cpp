@@ -1,0 +1,102 @@
+#include "core/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ncsw::core {
+
+namespace {
+/// Seed domain for backoff jitter, decorrelated from the dataset / fault
+/// generators that also draw from hash_mix.
+constexpr std::uint64_t kBackoffSeed = 0x6865616c74683aULL;  // "health:"
+}  // namespace
+
+const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kQuarantined: return "quarantined";
+    case HealthState::kRecovered: return "recovered";
+    case HealthState::kDead: return "dead";
+  }
+  return "?";
+}
+
+StickHealth::StickHealth(int device, const HealthPolicy& policy)
+    : device_(device), policy_(policy) {}
+
+double StickHealth::backoff(int attempt) const {
+  const double base =
+      std::min(policy_.backoff_initial_s *
+                   std::pow(policy_.backoff_multiplier, attempt),
+               policy_.backoff_max_s);
+  // Pure function of (device, attempt): replaying the same fault plan
+  // reproduces the same wait times to the bit.
+  const std::uint64_t h =
+      util::hash_mix(kBackoffSeed ^ static_cast<std::uint64_t>(device_),
+                     static_cast<std::uint64_t>(attempt));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return base * (1.0 + policy_.backoff_jitter_frac * (2.0 * u - 1.0));
+}
+
+void StickHealth::on_success() {
+  consecutive_failures_ = 0;
+  if (state_ == HealthState::kSuspect) {
+    state_ = HealthState::kHealthy;
+  } else if (state_ == HealthState::kRecovered &&
+             ++probation_successes_ >= policy_.recovery_successes) {
+    state_ = HealthState::kHealthy;
+  }
+}
+
+double StickHealth::on_transient_failure(double now) {
+  ++consecutive_failures_;
+  if (state_ == HealthState::kHealthy) state_ = HealthState::kSuspect;
+  // A stick that fails while on probation has not really recovered:
+  // straight back to quarantine rather than through the retry ladder.
+  if (state_ == HealthState::kRecovered ||
+      consecutive_failures_ > policy_.max_retries) {
+    return quarantine(now);
+  }
+  return backoff(consecutive_failures_ - 1);
+}
+
+double StickHealth::on_gone(double now) {
+  ++consecutive_failures_;
+  needs_replug_ = true;
+  return quarantine(now);
+}
+
+double StickHealth::quarantine(double now) {
+  state_ = HealthState::kQuarantined;
+  ++quarantines_;
+  probes_ = 0;
+  probation_successes_ = 0;
+  quarantined_since_ = now;
+  const double delay = backoff(consecutive_failures_);
+  next_probe_time_ = now + delay;
+  return delay;
+}
+
+void StickHealth::on_probe_success() {
+  state_ = HealthState::kRecovered;
+  consecutive_failures_ = 0;
+  probation_successes_ = 0;
+  needs_replug_ = false;
+}
+
+double StickHealth::on_probe_failure(double now) {
+  ++probes_;
+  if (probes_ >= policy_.max_probes) {
+    state_ = HealthState::kDead;
+    return 0.0;
+  }
+  // Continue the backoff ladder past the retry attempts that led here.
+  const double delay = backoff(consecutive_failures_ + probes_);
+  next_probe_time_ = now + delay;
+  return delay;
+}
+
+}  // namespace ncsw::core

@@ -32,6 +32,12 @@ struct TimedRun {
   std::int64_t images = 0;
   double seconds = 0.0;               ///< simulated makespan
   util::RunningStats per_image_ms;    ///< distribution of per-image latency
+  /// Self-healing bookkeeping (multi-VPU target under fault injection;
+  /// all zero on fault-free runs and on CPU/GPU targets).
+  std::int64_t images_replayed = 0;   ///< re-issued after a stick failure
+  std::int64_t images_lost = 0;       ///< abandoned (allow_partial runs only)
+  int sticks_recovered = 0;           ///< quarantine exits during the run
+  int sticks_dead = 0;                ///< sticks unrecoverable at the end
 
   /// Images per simulated second.
   double throughput() const noexcept {

@@ -33,6 +33,7 @@ void VpuTarget::open_all() {
   host.ncs = config_.ncs;
   host.degraded_device = config_.degraded_device;
   host.degraded_factor = config_.degraded_factor;
+  host.faults = config_.faults;
   mvnc::host_reset(host);
 
   for (int d = 0; d < config_.devices; ++d) {
@@ -54,6 +55,7 @@ void VpuTarget::open_all() {
       throw std::runtime_error("VpuTarget: mvncAllocateGraph failed");
     }
     graph_handles_.push_back(graph);
+    mvnc::set_watchdog(graph, config_.health.watchdog_s);
     // Functional bundles ship their network + FP16 weights inside the
     // graph file (graphc::serialize_package), so the stick computes real
     // outputs with no further setup.
@@ -107,74 +109,264 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
   // shared USB hub channels they contend on) advance together. The
   // paper's policy is static round-robin; kLeastLoaded instead hands the
   // next image to whichever stick's host cursor is earliest.
-  std::vector<bool> alive(static_cast<std::size_t>(active), true);
-  int alive_count = active;
+  const std::size_t nactive = static_cast<std::size_t>(active);
   auto& reg = util::metrics();
+  auto& tr = util::tracer();
   static util::Counter& m_images = reg.counter("core.sched.images");
   static util::Counter& m_retries =
       reg.counter("core.sched.failover_retries");
-  std::vector<std::uint64_t> assigned(static_cast<std::size_t>(active), 0);
-  for (std::int64_t i = 0; i < images; ++i) {
-    // Each image retries on another stick when its stick vanishes
-    // (MVNC_GONE — an unplugged NCS): the runner degrades gracefully
-    // instead of aborting the batch.
-    for (;;) {
-      if (alive_count == 0) {
-        throw std::runtime_error("run_timed: all sticks are gone");
-      }
-      std::size_t pick = static_cast<std::size_t>(i % active);
-      if (config_.scheduling == Scheduling::kLeastLoaded || !alive[pick]) {
-        double best = std::numeric_limits<double>::infinity();
-        for (std::size_t d = 0; d < static_cast<std::size_t>(active); ++d) {
-          if (!alive[d]) continue;
-          const double t = mvnc::host_time(graph_handles_[d]).value_or(best);
-          if (t < best) {
-            best = t;
-            pick = d;
-          }
+  std::vector<std::uint64_t> assigned(nactive, 0);
+
+  // Per-stick health records: every fault maps to a retry / backoff /
+  // quarantine decision through them (see docs/architecture.md). On a
+  // fault-free schedule none of the cold-path helpers below run, keeping
+  // the call sequence — and thus all timing — identical to a runner
+  // without fault handling.
+  std::vector<StickHealth> health;
+  health.reserve(nactive);
+  for (int d = 0; d < active; ++d) health.emplace_back(d, config_.health);
+  int recoveries = 0;
+
+  auto dev_counter = [&reg](std::size_t d,
+                            const char* metric) -> util::Counter& {
+    return reg.counter("core.health.dev" + std::to_string(d) + "." + metric);
+  };
+  auto cursor = [&](std::size_t d) {
+    return mvnc::host_time(graph_handles_[d]).value_or(0.0);
+  };
+  auto fault_instant = [&](std::size_t d, const char* name) {
+    if (tr.enabled()) {
+      tr.instant("core.health", name,
+                 tr.lane("dev" + std::to_string(d) + " health"), cursor(d));
+    }
+  };
+  // The stick went MVNC_GONE (detached or unplugged): quarantine it; only
+  // a successful replug + graph re-allocation brings it back.
+  auto on_gone = [&](std::size_t d) {
+    dev_counter(d, "gone").add(1);
+    fault_instant(d, "gone");
+    health[d].on_gone(cursor(d));
+    dev_counter(d, "quarantines").add(1);
+    m_retries.add(1);
+  };
+  // A retryable failure (`why` names the counter): back off and retry on
+  // the same stick, or — once retries are exhausted — quarantine it so
+  // the image is replayed elsewhere. True = caller should retry here.
+  auto transient_retry = [&](std::size_t d, const char* why) -> bool {
+    StickHealth& h = health[d];
+    dev_counter(d, why).add(1);
+    fault_instant(d, why);
+    const double now = cursor(d);
+    const double delay = h.on_transient_failure(now);
+    if (h.state() == HealthState::kQuarantined) {
+      dev_counter(d, "quarantines").add(1);
+      return false;
+    }
+    dev_counter(d, "transient_retries").add(1);
+    mvnc::set_host_time(graph_handles_[d], now + delay);
+    return true;
+  };
+  // Probe a quarantined stick at its scheduled probe time. True = the
+  // stick is schedulable again (on probation).
+  auto probe = [&](std::size_t d) -> bool {
+    StickHealth& h = health[d];
+    const double t = h.next_probe_time();
+    dev_counter(d, "probes").add(1);
+    if (h.needs_replug()) {
+      const auto ready = mvnc::replug_device(device_handles_[d], t);
+      bool replugged = false;
+      if (ready) {
+        // Firmware is back but the old graph handle is stale: re-allocate
+        // from the blob (it carries the network + FP16 weights, so the
+        // functional payload reattaches with it).
+        mvnc::mvncDeallocateGraph(graph_handles_[d]);
+        graph_handles_[d] = nullptr;
+        void* graph = nullptr;
+        const auto& blob = bundle_->graph_blob;
+        if (mvnc::mvncAllocateGraph(device_handles_[d], &graph, blob.data(),
+                                    static_cast<unsigned int>(blob.size())) ==
+            mvnc::MVNC_OK) {
+          graph_handles_[d] = graph;
+          mvnc::set_host_time(graph, std::max(*ready, t));
+          mvnc::set_inter_op_gap(graph, gap);
+          mvnc::set_watchdog(graph, config_.health.watchdog_s);
+          dev_counter(d, "replug_recoveries").add(1);
+          replugged = true;
         }
       }
-      void* graph = graph_handles_[pick];
-      const auto load_st = mvnc::mvncLoadTensor(
-          graph, input.data(), static_cast<unsigned int>(input.size()),
-          nullptr);
-      if (load_st == mvnc::MVNC_GONE) {
-        alive[pick] = false;
-        --alive_count;
-        m_retries.add(1);
+      if (!replugged) {
+        h.on_probe_failure(t);
+        if (h.state() == HealthState::kDead) dev_counter(d, "dead").add(1);
+        return false;
+      }
+    } else {
+      // Transient quarantine: re-admit at the probe time and retire stale
+      // queued results left over from before the quarantine (their images
+      // were already replayed elsewhere).
+      mvnc::set_host_time(graph_handles_[d], t);
+      for (;;) {
+        void* out = nullptr;
+        unsigned int out_len = 0;
+        if (mvnc::mvncGetResult(graph_handles_[d], &out, &out_len,
+                                nullptr) != mvnc::MVNC_OK) {
+          break;
+        }
+        dev_counter(d, "stale_results_drained").add(1);
+      }
+    }
+    const double since = h.quarantined_since();
+    const int failed_probes = h.probes();
+    h.on_probe_success();
+    ++recoveries;
+    dev_counter(d, "recoveries").add(1);
+    if (tr.enabled()) {
+      tr.complete("core.health", "quarantine",
+                  tr.lane("dev" + std::to_string(d) + " health"), since,
+                  std::max(t, since),
+                  {util::TraceArg::num(
+                      "failed_probes",
+                      static_cast<std::int64_t>(failed_probes))});
+    }
+    return true;
+  };
+  // Run one image on stick `d`. True = image completed (stats recorded);
+  // false = the stick dropped out and the image must be replayed.
+  auto attempt_image = [&](std::size_t d) -> bool {
+    for (;;) {  // LoadTensor with bounded retry
+      const auto st = mvnc::mvncLoadTensor(
+          graph_handles_[d], input.data(),
+          static_cast<unsigned int>(input.size()), nullptr);
+      if (st == mvnc::MVNC_OK) break;
+      if (st == mvnc::MVNC_GONE) {
+        on_gone(d);
+        return false;
+      }
+      if (st == mvnc::MVNC_BUSY) {
+        // FIFO full (a scripted busy storm, or stale inferences from an
+        // earlier timeout): retire the oldest queued result and retry
+        // the load instead of aborting the batch.
+        void* out = nullptr;
+        unsigned int out_len = 0;
+        if (mvnc::mvncGetResult(graph_handles_[d], &out, &out_len,
+                                nullptr) == mvnc::MVNC_OK) {
+          dev_counter(d, "busy_drains").add(1);
+          continue;  // slot freed; the drained image was already replayed
+        }
+        if (!transient_retry(d, "busy")) return false;
         continue;
       }
-      if (load_st != mvnc::MVNC_OK) {
-        throw std::runtime_error("run_timed: mvncLoadTensor failed");
+      if (st == mvnc::MVNC_ERROR) {
+        if (!transient_retry(d, "usb_errors")) return false;
+        continue;
       }
+      throw std::runtime_error("run_timed: mvncLoadTensor failed");
+    }
+    for (;;) {  // GetResult with bounded retry
       void* out = nullptr;
       unsigned int out_len = 0;
-      const auto get_st = mvnc::mvncGetResult(graph, &out, &out_len, nullptr);
-      if (get_st == mvnc::MVNC_GONE) {
-        alive[pick] = false;
-        --alive_count;
-        m_retries.add(1);
-        continue;  // the in-flight inference was lost: redo the image
+      const auto st =
+          mvnc::mvncGetResult(graph_handles_[d], &out, &out_len, nullptr);
+      if (st == mvnc::MVNC_OK) {
+        const auto ticket = mvnc::last_ticket(graph_handles_[d]);
+        if (!ticket) throw std::runtime_error("run_timed: missing ticket");
+        run.per_image_ms.add((ticket->result_ready - ticket->issue) * 1e3);
+        last_completion = std::max(last_completion, ticket->result_ready);
+        ++assigned[d];
+        health[d].on_success();
+        return true;
       }
-      if (get_st != mvnc::MVNC_OK) {
-        throw std::runtime_error("run_timed: mvncGetResult failed");
+      if (st == mvnc::MVNC_GONE) {
+        on_gone(d);  // the in-flight inference is gone with the stick
+        return false;
       }
-      const auto ticket = mvnc::last_ticket(graph);
-      if (!ticket) throw std::runtime_error("run_timed: missing ticket");
-      run.per_image_ms.add((ticket->result_ready - ticket->issue) * 1e3);
-      last_completion = std::max(last_completion, ticket->result_ready);
-      ++assigned[pick];
-      break;
+      if (st == mvnc::MVNC_TIMEOUT) {
+        if (!transient_retry(d, "timeouts")) return false;
+        continue;
+      }
+      throw std::runtime_error("run_timed: mvncGetResult failed");
+    }
+  };
+
+  std::int64_t completed = 0;
+  bool exhausted = false;
+  for (std::int64_t i = 0; i < images && !exhausted; ++i) {
+    // Each image retries on another stick when its stick drops out: the
+    // runner degrades gracefully instead of aborting the batch, and
+    // quarantined sticks are probed back in as the fleet's clock reaches
+    // their backoff deadlines.
+    for (;;) {
+      double fleet_now = -std::numeric_limits<double>::infinity();
+      for (std::size_t d = 0; d < nactive; ++d) {
+        if (health[d].schedulable()) {
+          fleet_now = std::max(fleet_now, cursor(d));
+        }
+      }
+      for (std::size_t d = 0; d < nactive; ++d) {
+        if (health[d].state() == HealthState::kQuarantined &&
+            health[d].next_probe_time() <= fleet_now) {
+          probe(d);
+        }
+      }
+      // Pick a stick: the paper's static round-robin, falling back to
+      // the earliest-free schedulable stick when the assigned one is out.
+      std::size_t pick = static_cast<std::size_t>(i % active);
+      if (config_.scheduling == Scheduling::kLeastLoaded ||
+          !health[pick].schedulable()) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t found = nactive;
+        for (std::size_t d = 0; d < nactive; ++d) {
+          if (!health[d].schedulable()) continue;
+          const double t = cursor(d);
+          if (t < best) {
+            best = t;
+            found = d;
+          }
+        }
+        pick = found;
+      }
+      if (pick >= nactive) {
+        // Nothing schedulable: wait for the earliest quarantine probe,
+        // or give up once every stick is dead.
+        std::size_t q = nactive;
+        double earliest = std::numeric_limits<double>::infinity();
+        for (std::size_t d = 0; d < nactive; ++d) {
+          if (health[d].state() != HealthState::kQuarantined) continue;
+          if (health[d].next_probe_time() < earliest) {
+            earliest = health[d].next_probe_time();
+            q = d;
+          }
+        }
+        if (q < nactive) {
+          probe(q);
+          continue;
+        }
+        if (!config_.allow_partial) {
+          throw std::runtime_error("run_timed: all sticks are gone");
+        }
+        run.images_lost = images - i;
+        exhausted = true;
+        break;
+      }
+      if (attempt_image(pick)) {
+        ++completed;
+        break;
+      }
+      ++run.images_replayed;
+      dev_counter(pick, "images_replayed").add(1);
     }
   }
-  m_images.add(static_cast<std::uint64_t>(images));
+  run.images = completed;
+  run.sticks_recovered = recoveries;
+  for (const auto& h : health) {
+    if (h.state() == HealthState::kDead) ++run.sticks_dead;
+  }
+  m_images.add(static_cast<std::uint64_t>(completed));
   for (std::size_t d = 0; d < assigned.size(); ++d) {
     if (assigned[d] > 0) {
       reg.counter("core.sched.assigned.dev" + std::to_string(d))
           .add(assigned[d]);
     }
   }
-  auto& tr = util::tracer();
   if (tr.enabled()) {
     tr.complete("core", "run_timed", tr.lane("scheduler"), t0, last_completion,
                 {util::TraceArg::num("images", images),
@@ -202,22 +394,46 @@ std::vector<Prediction> VpuTarget::classify(
 
   auto worker = [&](int d) {
     void* graph = graph_handles_[static_cast<std::size_t>(d)];
+    const StickHealth backoffs(d, config_.health);
+    // Bounded transient retry (BUSY / ERROR / TIMEOUT): back off on the
+    // stick's own timeline and reissue; anything else aborts the batch
+    // (the caller surfaces the first worker error, e.g. MVNC_GONE).
+    auto transient = [&](mvncStatus st, int& attempt) -> bool {
+      if (st != mvnc::MVNC_BUSY && st != mvnc::MVNC_ERROR &&
+          st != mvnc::MVNC_TIMEOUT) {
+        return false;
+      }
+      if (attempt >= config_.health.max_retries) return false;
+      const double now = mvnc::host_time(graph).value_or(0.0);
+      mvnc::set_host_time(graph, now + backoffs.backoff(attempt));
+      ++attempt;
+      return true;
+    };
     for (std::size_t i = static_cast<std::size_t>(d); i < inputs.size();
          i += static_cast<std::size_t>(active)) {
       // Host-side FP32 -> FP16 conversion (the OpenEXR-half step).
       const auto half_input =
           tensor::tensor_cast<ncsw::fp16::half>(inputs[i]);
-      mvncStatus st = mvnc::mvncLoadTensor(
-          graph, half_input.data(),
-          static_cast<unsigned int>(half_input.numel() *
-                                    sizeof(ncsw::fp16::half)),
-          nullptr);
+      mvncStatus st;
+      int attempt = 0;
+      for (;;) {
+        st = mvnc::mvncLoadTensor(
+            graph, half_input.data(),
+            static_cast<unsigned int>(half_input.numel() *
+                                      sizeof(ncsw::fp16::half)),
+            nullptr);
+        if (st == mvnc::MVNC_OK || !transient(st, attempt)) break;
+      }
       if (st != mvnc::MVNC_OK) {
         throw std::runtime_error("classify: mvncLoadTensor failed");
       }
       void* out = nullptr;
       unsigned int out_len = 0;
-      st = mvnc::mvncGetResult(graph, &out, &out_len, nullptr);
+      attempt = 0;
+      for (;;) {
+        st = mvnc::mvncGetResult(graph, &out, &out_len, nullptr);
+        if (st == mvnc::MVNC_OK || !transient(st, attempt)) break;
+      }
       if (st != mvnc::MVNC_OK) {
         throw std::runtime_error("classify: mvncGetResult failed");
       }

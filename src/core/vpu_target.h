@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/health.h"
 #include "core/target.h"
 #include "devices/calibration.h"
 #include "mvnc/sim_host.h"
@@ -40,6 +41,16 @@ struct VpuTargetConfig {
   /// Use real host threads for functional classification (the OpenMP mode
   /// of the paper's framework). Timing is unaffected.
   bool parallel_host_threads = true;
+  /// Scripted fault windows forwarded to the host (empty: no injection,
+  /// fault-free behaviour is byte-identical to a build without them).
+  sim::FaultPlan faults;
+  /// Retry / backoff / quarantine policy of the self-healing runner.
+  HealthPolicy health;
+  /// When every stick is dead, run_timed normally throws. With
+  /// allow_partial the run returns instead, reporting the abandoned
+  /// images in TimedRun::images_lost (used by the chaos bench to plot
+  /// graceful degradation past the cliff).
+  bool allow_partial = false;
 };
 
 /// Target driving 1..N simulated Neural Compute Sticks through the mvnc

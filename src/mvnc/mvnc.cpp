@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
@@ -37,6 +38,8 @@ struct GraphState {
   std::mutex mutex;
   double host_clock = 0.0;     // simulated host-time cursor for this handle
   double inter_op_gap = 0.0;   // host gap after each retrieved result
+  // GetResult watchdog budget (infinity = block forever, NCSDK default).
+  double watchdog_s = std::numeric_limits<double>::infinity();
 
   struct Pending {
     std::vector<ncsw::fp16::half> output;
@@ -118,6 +121,9 @@ void host_reset(const HostConfig& config) {
     auto state = std::make_unique<DeviceState>();
     state->device = std::make_unique<ncs::NcsDevice>(
         d, g_host.topology->channel_for(d), dev_cfg);
+    if (!config.faults.empty()) {
+      state->device->set_fault_timeline(config.faults.timeline_for(d));
+    }
     g_host.devices.push_back(std::move(state));
   }
 }
@@ -181,6 +187,22 @@ bool set_inter_op_gap(void* graphHandle, double gap_s) {
   std::lock_guard glock(g->mutex);
   g->inter_op_gap = gap_s;
   return true;
+}
+
+bool set_watchdog(void* graphHandle, double timeout_s) {
+  std::lock_guard lock(g_mutex);
+  GraphState* g = as_graph(graphHandle);
+  if (!g || timeout_s < 0) return false;
+  std::lock_guard glock(g->mutex);
+  g->watchdog_s = timeout_s;
+  return true;
+}
+
+std::optional<double> replug_device(void* deviceHandle, double t) {
+  std::lock_guard lock(g_mutex);
+  DeviceState* d = as_device(deviceHandle);
+  if (!d) return std::nullopt;
+  return d->device->replug(t);
 }
 
 ncs::NcsDevice* device_of(void* deviceHandle) {
@@ -321,6 +343,11 @@ mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
   std::optional<ncs::InferenceTicket> ticket;
   try {
     ticket = g->dev->device->load_tensor(g->host_clock, userParam);
+  } catch (const ncs::TransientUsbError&) {
+    // Scripted transient transfer fault: nothing was queued; the caller
+    // may retry once the window has passed (advance the host clock).
+    util::metrics().counter("mvnc.transient_errors").add(1);
+    return MVNC_ERROR;
   } catch (const ncs::DeviceUnplugged&) {
     g->pending.clear();
     return MVNC_GONE;
@@ -378,7 +405,20 @@ mvncStatus mvncGetResult(void* graphHandle, void** outputData,
   const double wait_from = g->host_clock;
   std::optional<ncs::InferenceTicket> ticket;
   try {
-    ticket = g->dev->device->get_result(g->host_clock);
+    ticket = g->dev->device->get_result(g->host_clock, g->watchdog_s);
+  } catch (const ncs::DeviceTimeout& timeout) {
+    // Watchdog expired: the host stops waiting, the inference stays
+    // queued on the stick, and a later GetResult can still retrieve it.
+    g->host_clock = timeout.gave_up_at;
+    util::metrics().counter("mvnc.timeouts").add(1);
+    auto& tr = util::tracer();
+    if (tr.enabled()) {
+      tr.complete(
+          "mvnc", "GetResult(timeout)",
+          tr.lane("dev" + std::to_string(g->dev->device->id()) + " host"),
+          wait_from, timeout.gave_up_at);
+    }
+    return MVNC_TIMEOUT;
   } catch (const ncs::DeviceUnplugged&) {
     g->pending.clear();  // in-flight results died with the link
     return MVNC_GONE;

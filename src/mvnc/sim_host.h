@@ -14,6 +14,7 @@
 #include "ncs/device.h"
 #include "ncs/usb.h"
 #include "nn/executor.h"
+#include "sim/fault.h"
 
 namespace ncsw::mvnc {
 
@@ -31,6 +32,11 @@ struct HostConfig {
   /// ablation.
   int degraded_device = -1;
   double degraded_factor = 2.0;
+  /// Scripted fault windows keyed to the simulated clock (transient USB
+  /// errors and stalls, busy storms, result stalls, forced throttling,
+  /// detach/reattach). Empty by default: fault-free behaviour is
+  /// byte-identical to a host without fault injection.
+  sim::FaultPlan faults;
 };
 
 /// (Re)initialise the global simulated host. Any previously returned
@@ -66,6 +72,21 @@ std::optional<double> host_time(void* graphHandle);
 /// Override the inter-op host gap for this handle (thread management
 /// cost between successive inferences; see NcsConfig::inter_op_gap_s).
 bool set_inter_op_gap(void* graphHandle, double gap_s);
+
+/// Watchdog budget for mvncGetResult on this handle (simulated seconds):
+/// when the result would land later than `timeout_s` after the call,
+/// GetResult returns MVNC_TIMEOUT instead of blocking and the inference
+/// stays queued for a later retry. Default: infinity (block forever, the
+/// NCSDK behaviour). Returns false on a bad handle or negative timeout.
+bool set_watchdog(void* graphHandle, double timeout_s);
+
+/// Hot-replug a stick that a scripted detach window took off the bus:
+/// once the window has passed at simulated time `t`, the stick
+/// re-enumerates and its firmware boots again. Returns the ready time,
+/// or nullopt while the stick is still detached (or was never detached /
+/// was permanently unplugged). The device handle stays valid; graph
+/// handles on the stick are stale and must be re-allocated.
+std::optional<double> replug_device(void* deviceHandle, double t);
 
 /// The underlying simulated device of a device handle (nullptr on a bad
 /// handle) — for tests and power accounting.

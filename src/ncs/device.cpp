@@ -29,6 +29,11 @@ NcsDevice::NcsDevice(int id, UsbChannel& channel, const NcsConfig& config)
 sim::SimTime NcsDevice::open(sim::SimTime host_time) {
   std::lock_guard lock(mutex_);
   if (open_) throw std::logic_error("NcsDevice::open: already open");
+  return boot_locked(host_time, "boot");
+}
+
+sim::SimTime NcsDevice::boot_locked(sim::SimTime host_time,
+                                    const char* span_name) {
   // Firmware image download (~1.8 MB over USB) then boot.
   const auto window =
       channel_.transfer(host_time, 1'800'000);
@@ -36,7 +41,8 @@ sim::SimTime NcsDevice::open(sim::SimTime host_time) {
   open_ = true;
   auto& t = util::tracer();
   if (t.enabled()) {
-    t.complete("ncs", "boot", t.lane("dev" + std::to_string(id_) + " host"),
+    t.complete("ncs", span_name,
+               t.lane("dev" + std::to_string(id_) + " host"),
                window.start, ready_at_);
   }
   return ready_at_;
@@ -56,6 +62,69 @@ void NcsDevice::unplug() {
 bool NcsDevice::unplugged() const {
   std::lock_guard lock(mutex_);
   return unplugged_;
+}
+
+void NcsDevice::set_fault_timeline(sim::FaultTimeline timeline) {
+  std::lock_guard lock(mutex_);
+  faults_ = std::move(timeline);
+  detach_cursor_ = 0;
+}
+
+bool NcsDevice::detached() const {
+  std::lock_guard lock(mutex_);
+  return detached_;
+}
+
+std::uint64_t NcsDevice::results_lost() const {
+  std::lock_guard lock(mutex_);
+  return results_lost_;
+}
+
+util::Counter& NcsDevice::fault_counter(const char* metric) const {
+  // Cold path (only reached when a scripted fault fires), so the registry
+  // lookup cost is irrelevant — and lazy creation keeps fault-free runs'
+  // metric namespace identical to a build without fault injection.
+  return util::metrics().counter("ncs.dev" + std::to_string(id_) + "." +
+                                 metric);
+}
+
+void NcsDevice::latch_detach_locked(sim::SimTime t) {
+  if (faults_.empty()) return;
+  bool latched = false;
+  while (const auto* ev = faults_.next_detach(t, &detach_cursor_)) {
+    latched = true;
+    detached_ = true;
+    reattach_at_ = std::max(reattach_at_, ev->end);
+  }
+  if (!latched) return;
+  // The stick dropped off the bus: in-flight inferences and all firmware
+  // state (boot + allocated graph) are gone until a hot replug.
+  results_lost_ += fifo_.size();
+  fault_counter("detaches").add(1);
+  if (!fifo_.empty()) {
+    fault_counter("results_lost").add(fifo_.size());
+  }
+  fifo_.clear();
+  open_ = false;
+  graph_.reset();
+  auto& tr = util::tracer();
+  if (tr.enabled()) {
+    tr.instant("ncs.fault", "detach",
+               tr.lane("dev" + std::to_string(id_) + " host"), t);
+  }
+}
+
+std::optional<sim::SimTime> NcsDevice::replug(sim::SimTime host_time) {
+  std::lock_guard lock(mutex_);
+  if (unplugged_) return std::nullopt;  // permanently gone
+  latch_detach_locked(host_time);
+  if (!detached_) return std::nullopt;  // nothing to recover
+  if (host_time < reattach_at_) return std::nullopt;  // still off the bus
+  detached_ = false;
+  fault_counter("replugs").add(1);
+  // Fresh enumeration: the firmware boots again; the host must then
+  // re-allocate its graph.
+  return boot_locked(host_time, "replug");
 }
 
 sim::SimTime NcsDevice::allocate_graph(const graphc::CompiledGraph& graph,
@@ -133,32 +202,77 @@ std::optional<InferenceTicket> NcsDevice::load_tensor(sim::SimTime host_time,
                                                       void* user_param) {
   std::lock_guard lock(mutex_);
   if (unplugged_) throw DeviceUnplugged("NcsDevice::load_tensor");
+  latch_detach_locked(host_time);
+  if (detached_) throw DeviceDetached("NcsDevice::load_tensor: detached");
   if (!open_ || !graph_) {
     throw std::logic_error("NcsDevice::load_tensor: device not ready");
+  }
+  if (!faults_.empty() &&
+      faults_.active(sim::FaultKind::kBusyStorm, host_time)) {
+    // Scripted FIFO storm: the firmware rejects the load exactly as if
+    // the inference FIFO were full.
+    m_fifo_rejects_.add(1);
+    fault_counter("busy_storm_rejects").add(1);
+    return std::nullopt;  // MVNC_BUSY
   }
   if (static_cast<int>(fifo_.size()) >= config_.fifo_depth) {
     m_fifo_rejects_.add(1);
     return std::nullopt;  // MVNC_BUSY
   }
+  sim::SimTime issue = std::max(host_time, ready_at_);
+  sim::SimTime xfer_earliest = issue + config_.command_overhead_s;
+  if (!faults_.empty()) {
+    if (faults_.active(sim::FaultKind::kUsbTransferError, xfer_earliest)) {
+      fault_counter("usb_errors").add(1);
+      auto& tr = util::tracer();
+      if (tr.enabled()) {
+        tr.instant("ncs.fault", "usb-error",
+                   tr.lane("dev" + std::to_string(id_) + " host"),
+                   xfer_earliest);
+      }
+      throw TransientUsbError("NcsDevice::load_tensor: transfer error");
+    }
+    // A stalled bus delays the transfer to the end of the stall window.
+    const sim::SimTime clear =
+        faults_.clear_of(sim::FaultKind::kUsbStall, xfer_earliest);
+    if (clear != xfer_earliest) {
+      fault_counter("usb_stalls").add(1);
+      xfer_earliest = clear;
+    }
+  }
   InferenceTicket t;
   t.seq = next_seq_++;
   t.user_param = user_param;
-  t.issue = std::max(host_time, ready_at_);
+  t.issue = issue;
 
   // Input tensor DMA over the (possibly shared) USB channel, preceded by
   // the RISC command handshake.
-  const auto window = channel_.transfer(t.issue + config_.command_overhead_s,
-                                        graph_->input_bytes());
+  const auto window = channel_.transfer(xfer_earliest, graph_->input_bytes());
   t.input_done = window.end;
 
   // Execution starts once the SHAVE array frees up and the input landed.
   t.exec_start = std::max(t.input_done, shave_free_at_);
   double exec_time = jittered_exec_time(t.seq);
+  const sim::FaultEvent* forced_throttle =
+      faults_.empty()
+          ? nullptr
+          : faults_.active(sim::FaultKind::kThermalThrottle, t.exec_start);
   if (config_.thermal_enabled) {
     // Integrate the idle gap since the last modelled point, then apply
     // the throttle level the firmware sees *at dispatch time*.
     thermal_.advance(t.exec_start - thermal_clock_, config_.idle_power_w);
     exec_time *= thermal_.slowdown();
+  }
+  if (forced_throttle) {
+    // Scripted hard-throttle window (an overheated enclosure): the
+    // firmware stretches execution regardless of the modelled junction
+    // temperature.
+    exec_time *= forced_throttle->magnitude > 1.0
+                     ? forced_throttle->magnitude
+                     : config_.thermal.hard_throttle_factor;
+    fault_counter("forced_throttles").add(1);
+  }
+  if (config_.thermal_enabled) {
     thermal_.advance(exec_time,
                      profile_.avg_power_w + config_.stick_overhead_w);
     thermal_clock_ = t.exec_start + exec_time;
@@ -207,20 +321,41 @@ void NcsDevice::trace_inference(const InferenceTicket& t) const {
   }
 }
 
-std::optional<InferenceTicket> NcsDevice::get_result(sim::SimTime host_time) {
+std::optional<InferenceTicket> NcsDevice::get_result(sim::SimTime host_time,
+                                                     double watchdog_s) {
   std::lock_guard lock(mutex_);
   if (unplugged_) throw DeviceUnplugged("NcsDevice::get_result");
+  latch_detach_locked(host_time);
+  if (detached_) throw DeviceDetached("NcsDevice::get_result: detached");
   if (!open_ || !graph_) {
     throw std::logic_error("NcsDevice::get_result: device not ready");
   }
   if (fifo_.empty()) return std::nullopt;
   InferenceTicket t = fifo_.front();
-  fifo_.pop_front();
 
   // Output transfer can only start when the execution finished and the
   // host asked for it.
-  const sim::SimTime start =
+  sim::SimTime start =
       std::max(host_time, t.exec_end) + config_.command_overhead_s;
+  if (!faults_.empty()) {
+    // A result-delivery stall (firmware wedged, FIFO interrupt lost):
+    // the output cannot leave the stick before the window closes.
+    const sim::SimTime clear =
+        faults_.clear_of(sim::FaultKind::kGetTimeout, start);
+    if (clear != start) {
+      fault_counter("result_stalls").add(1);
+      start = clear;
+    }
+  }
+  // Watchdog: give up before committing anything when the result cannot
+  // land within the caller's budget. The inference stays queued, so a
+  // later retry (after the stall clears) still succeeds.
+  if (start + channel_.duration(graph_->output_bytes()) - host_time >
+      watchdog_s) {
+    throw DeviceTimeout("NcsDevice::get_result: watchdog expired",
+                        host_time + watchdog_s);
+  }
+  fifo_.pop_front();
   const auto window = channel_.transfer(start, graph_->output_bytes());
   t.result_ready = window.end;
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -23,6 +24,7 @@
 #include "myriad/myriad.h"
 #include "ncs/thermal.h"
 #include "ncs/usb.h"
+#include "sim/fault.h"
 #include "util/metrics.h"
 
 namespace ncsw::ncs {
@@ -71,6 +73,34 @@ class DeviceUnplugged : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown while the stick is off the bus during a scripted detach window
+/// (mvnc also maps it to MVNC_GONE). Unlike a permanent unplug, the stick
+/// re-enumerates at the window's end and replug() recovers it.
+class DeviceDetached : public DeviceUnplugged {
+ public:
+  explicit DeviceDetached(const std::string& what) : DeviceUnplugged(what) {}
+};
+
+/// Thrown by load_tensor when the input transfer lands in a scripted
+/// kUsbTransferError window (mvnc maps it to MVNC_ERROR). Transient: the
+/// same call succeeds once the window has passed. No device state changes.
+class TransientUsbError : public std::runtime_error {
+ public:
+  explicit TransientUsbError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by get_result when the result would not land within the
+/// caller's watchdog budget (mvnc maps it to MVNC_TIMEOUT). The queued
+/// inference stays on the FIFO — retrying later can still succeed.
+class DeviceTimeout : public std::runtime_error {
+ public:
+  DeviceTimeout(const std::string& what, sim::SimTime gave_up)
+      : std::runtime_error(what), gave_up_at(gave_up) {}
+  /// Simulated time at which the host stopped waiting.
+  sim::SimTime gave_up_at;
+};
+
 /// Completion record for one queued inference.
 struct InferenceTicket {
   std::uint64_t seq = 0;        ///< per-device inference sequence number
@@ -105,6 +135,26 @@ class NcsDevice {
   void unplug();
   bool unplugged() const;
 
+  /// Install the scripted fault windows this stick consumes (a slice of
+  /// the host's FaultPlan). Call before driving inferences; an empty
+  /// timeline (the default) keeps every path byte-identical to a
+  /// fault-free device.
+  void set_fault_timeline(sim::FaultTimeline timeline);
+
+  /// True when a scripted detach window has taken the stick off the bus
+  /// (firmware state lost; operations throw DeviceDetached until replug).
+  bool detached() const;
+
+  /// Hot-replug a detached stick at `host_time`: once the detach window
+  /// has passed, the stick re-enumerates and the firmware boots again.
+  /// Returns the simulated ready time, or nullopt while the stick is
+  /// still off the bus (or was permanently unplugged / is not detached).
+  /// The host must re-allocate its graph afterwards.
+  std::optional<sim::SimTime> replug(sim::SimTime host_time);
+
+  /// In-flight inferences destroyed by detach windows so far.
+  std::uint64_t results_lost() const;
+
   /// Upload and allocate a compiled graph. Replaces any previous graph.
   /// Returns the time the allocation finished. Throws when not open.
   sim::SimTime allocate_graph(const graphc::CompiledGraph& graph,
@@ -124,8 +174,13 @@ class NcsDevice {
 
   /// Pop the oldest queued inference; `host_time` is when the host started
   /// waiting. The returned ticket's result_ready accounts for the output
-  /// transfer. Returns nullopt when the FIFO is empty.
-  std::optional<InferenceTicket> get_result(sim::SimTime host_time);
+  /// transfer. Returns nullopt when the FIFO is empty. When the result
+  /// would land more than `watchdog_s` after `host_time` (a scripted
+  /// kGetTimeout stall, or a genuinely slow inference against a tight
+  /// budget), throws DeviceTimeout and leaves the FIFO untouched.
+  std::optional<InferenceTicket> get_result(
+      sim::SimTime host_time,
+      double watchdog_s = std::numeric_limits<double>::infinity());
 
   /// Number of inferences currently queued.
   int queued() const;
@@ -163,6 +218,14 @@ class NcsDevice {
   /// Emit the trace spans of a freshly scheduled inference (caller holds
   /// mutex_; no-op when tracing is off).
   void trace_inference(const InferenceTicket& t) const;
+  /// Firmware download + boot shared by open() and replug() (caller holds
+  /// mutex_). Sets open_/ready_at_ and emits the named trace span.
+  sim::SimTime boot_locked(sim::SimTime host_time, const char* span_name);
+  /// Consume scripted detach events due at `t`: take the stick off the
+  /// bus, drop in-flight work, reset firmware state (caller holds mutex_).
+  void latch_detach_locked(sim::SimTime t);
+  /// Lazily fetched per-device fault counter (cold path only).
+  util::Counter& fault_counter(const char* metric) const;
 
   const int id_;
   UsbChannel& channel_;
@@ -178,6 +241,11 @@ class NcsDevice {
   mutable std::mutex mutex_;
   bool open_ = false;
   bool unplugged_ = false;
+  sim::FaultTimeline faults_;
+  bool detached_ = false;
+  sim::SimTime reattach_at_ = 0.0;   ///< end of the latched detach window
+  std::size_t detach_cursor_ = 0;    ///< next unconsumed detach event
+  std::uint64_t results_lost_ = 0;   ///< in-flight work killed by detaches
   sim::SimTime ready_at_ = 0.0;
   std::optional<graphc::CompiledGraph> graph_;
   myriad::InferenceProfile profile_;

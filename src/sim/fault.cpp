@@ -1,0 +1,118 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ncsw::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kUsbTransferError: return "usb-error";
+    case FaultKind::kUsbStall: return "usb-stall";
+    case FaultKind::kBusyStorm: return "busy-storm";
+    case FaultKind::kGetTimeout: return "get-timeout";
+    case FaultKind::kThermalThrottle: return "thermal-throttle";
+    case FaultKind::kDetach: return "detach";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool event_before(const FaultEvent& a, const FaultEvent& b) noexcept {
+  if (a.start != b.start) return a.start < b.start;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+}  // namespace
+
+FaultTimeline::FaultTimeline(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::sort(events_.begin(), events_.end(), event_before);
+}
+
+const FaultEvent* FaultTimeline::active(FaultKind kind,
+                                        SimTime t) const noexcept {
+  for (const auto& ev : events_) {
+    if (ev.start > t) break;
+    if (ev.kind == kind && t >= ev.start && t < ev.end) return &ev;
+  }
+  return nullptr;
+}
+
+SimTime FaultTimeline::clear_of(FaultKind kind, SimTime t) const noexcept {
+  // Windows are sorted by start; chase chained windows forward.
+  for (const auto& ev : events_) {
+    if (ev.kind != kind) continue;
+    if (ev.start > t) break;
+    if (t >= ev.start && t < ev.end) t = ev.end;
+  }
+  return t;
+}
+
+const FaultEvent* FaultTimeline::next_detach(SimTime t,
+                                             std::size_t* cursor) const noexcept {
+  while (*cursor < events_.size()) {
+    const FaultEvent& ev = events_[*cursor];
+    if (ev.kind != FaultKind::kDetach) {
+      ++*cursor;
+      continue;
+    }
+    if (ev.start > t) return nullptr;  // not yet due
+    ++*cursor;
+    return &ev;
+  }
+  return nullptr;
+}
+
+void FaultPlan::add(int device, FaultKind kind, SimTime start,
+                    SimTime duration, double magnitude) {
+  FaultEvent ev;
+  ev.device = device;
+  ev.kind = kind;
+  ev.start = start;
+  ev.end = start + duration;
+  ev.magnitude = magnitude;
+  events_.push_back(ev);
+}
+
+FaultTimeline FaultPlan::timeline_for(int device) const {
+  std::vector<FaultEvent> slice;
+  for (const auto& ev : events_) {
+    if (ev.device == device || ev.device < 0) slice.push_back(ev);
+  }
+  return FaultTimeline(std::move(slice));
+}
+
+FaultPlan FaultPlan::scripted_storm(std::uint64_t seed, int devices,
+                                    double rate, SimTime horizon,
+                                    SimTime mean_duration) {
+  FaultPlan plan;
+  if (rate <= 0.0 || horizon <= 0.0 || devices < 1) return plan;
+  // Transient kinds only: detach events are scripted explicitly so that
+  // recovery scenarios stay under test control.
+  static constexpr FaultKind kTransient[] = {
+      FaultKind::kUsbTransferError, FaultKind::kUsbStall,
+      FaultKind::kBusyStorm, FaultKind::kGetTimeout,
+      FaultKind::kThermalThrottle};
+  for (int d = 0; d < devices; ++d) {
+    util::Xoshiro256 rng(util::hash_mix(seed, static_cast<std::uint64_t>(d)));
+    SimTime t = 0.0;
+    for (;;) {
+      // Poisson arrivals: exponential inter-arrival times.
+      t += -std::log(1.0 - rng.uniform()) / rate;
+      if (t >= horizon) break;
+      const auto kind = kTransient[rng.uniform_u64(std::size(kTransient))];
+      const SimTime duration =
+          mean_duration * (0.5 + rng.uniform());  // 0.5x .. 1.5x the mean
+      const double magnitude =
+          kind == FaultKind::kThermalThrottle ? 1.5 + rng.uniform() : 0.0;
+      plan.add(d, kind, t, duration, magnitude);
+    }
+  }
+  return plan;
+}
+
+}  // namespace ncsw::sim

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/metrics.h"
+
 namespace {
 
 using namespace ncsw::core;
@@ -272,6 +274,31 @@ TEST(VpuTarget, ClassifyPropagatesWorkerFailures) {
   std::vector<ncsw::tensor::TensorF> inputs;
   for (int i = 0; i < 6; ++i) inputs.push_back(prep(data.sample(0, i).image));
   EXPECT_THROW(vpu.classify(inputs), std::runtime_error);
+}
+
+TEST(VpuTarget, MidBatchQuarantineAndRecovery) {
+  // A result-delivery stall wedges stick 1 mid-batch: the watchdog trips,
+  // bounded retries exhaust, the stick is quarantined and its image is
+  // replayed elsewhere; once the stall window passes, a probe re-admits
+  // the stick and it finishes the batch as a full member.
+  VpuTargetConfig cfg;
+  cfg.devices = 4;
+  cfg.health.watchdog_s = 0.05;
+  cfg.faults.add(1, ncsw::sim::FaultKind::kGetTimeout, 1.3, 0.6);
+  VpuTarget vpu(reference(), cfg);
+  const auto run = vpu.run_timed(120, 4);
+  EXPECT_EQ(run.images, 120);
+  EXPECT_EQ(run.images_lost, 0);
+  EXPECT_EQ(run.per_image_ms.count(), 120u);
+  EXPECT_GE(run.sticks_recovered, 1);
+  EXPECT_EQ(run.sticks_dead, 0);
+  auto& reg = ncsw::util::metrics();
+  EXPECT_GE(reg.counter("core.health.dev1.quarantines").value(), 1u);
+  EXPECT_GE(reg.counter("core.health.dev1.timeouts").value(), 1u);
+  EXPECT_GE(reg.counter("core.health.dev1.recoveries").value(), 1u);
+  // Degradation attribution stays per-device: the healthy sticks saw no
+  // quarantines.
+  EXPECT_EQ(reg.counter("core.health.dev0.quarantines").value(), 0u);
 }
 
 TEST(VpuTarget, AllSticksGoneThrows) {
