@@ -44,12 +44,16 @@ int main(int argc, char** argv) {
                     " sticks, images/s)");
   table.set_header({"Configuration", "Throughput", "vs paper baseline"});
   double baseline = 0.0;
+  int case_idx = 0;
   for (const auto& c : cases) {
     core::VpuTargetConfig cfg;
     cfg.devices = devices;
     cfg.scheduling = c.policy;
     cfg.degraded_device = c.degraded;
     cfg.degraded_factor = slow;
+    // Each case restarts the simulated clock; namespace its lanes so one
+    // trace file shows the cases side by side instead of overlaid.
+    util::tracer().set_lane_prefix("case" + std::to_string(case_idx++) + " ");
     core::VpuTarget vpu(bundle, cfg);
     const double tput = vpu.run_timed(images, devices).throughput();
     if (baseline == 0.0) baseline = tput;

@@ -95,10 +95,15 @@ int main(int argc, char** argv) {
       {"heatsinked / forced air", 8.0, 60.0},
   };
 
+  int scenario_idx = 0;
   for (const auto& sc : scenarios) {
     ncs::NcsConfig cfg;
     cfg.thermal.resistance_c_per_w = sc.resistance;
     cfg.thermal.time_constant_s = sc.tau;
+    // Each scenario restarts the simulated clock; namespace its lanes so
+    // the scenarios sit side by side in one trace instead of overlaying.
+    util::tracer().set_lane_prefix("sc" + std::to_string(scenario_idx++) +
+                                   " ");
     const auto rows = sustained_run(cfg, n, windows);
 
     util::Table table(std::string("A4: ") + sc.label);

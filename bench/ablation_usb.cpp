@@ -38,10 +38,14 @@ int main(int argc, char** argv) {
   util::Table table("A2: USB topology ablation (images/s, " +
                     std::to_string(devices) + " sticks)");
   table.set_header({"Topology", "Throughput", "1-stick latency (ms)"});
+  int case_idx = 0;
   for (const auto& c : cases) {
     core::VpuTargetConfig cfg;
     cfg.devices = devices;
     cfg.topology = c.topology;
+    // Each topology restarts the simulated clock; namespace its lanes so
+    // one trace file shows the cases side by side instead of overlaid.
+    util::tracer().set_lane_prefix("topo" + std::to_string(case_idx++) + " ");
     core::VpuTarget vpu(bundle, cfg);
     const double single_ms = vpu.run_timed(64, 1).seconds * 1e3 / 64.0;
     const double tput = vpu.run_timed(images, devices).throughput();

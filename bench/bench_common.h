@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/protocol.h"
 #include "util/cli.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -37,6 +38,9 @@ inline void add_common_flags(util::Cli& cli) {
                  "write a simulated-clock Chrome trace (Perfetto) here");
   cli.add_bool("trace-layers", false,
                "include one span per network layer in the trace");
+  cli.add_string("check", "",
+                 "NCAPI protocol verifier: off | log | strict (default: "
+                 "$NCSW_CHECK, else off)");
 }
 
 /// Arm the tracer according to --trace/--trace-layers. Call after
@@ -48,6 +52,13 @@ inline void setup(const util::Cli& cli) {
     t.set_detail(cli.get_bool("trace-layers") ? util::TraceDetail::kLayers
                                               : util::TraceDetail::kSpans);
     t.set_enabled(true);
+  }
+  // --check overrides the process default that HostConfig::check ==
+  // kDefault resolves through (the environment keeps deciding when the
+  // flag is absent).
+  const std::string check = cli.get_string("check");
+  if (!check.empty()) {
+    check::set_default_mode(check::parse_check_mode(check));
   }
 }
 

@@ -96,6 +96,11 @@ int main(int argc, char** argv) {
       cfg.faults = sim::FaultPlan::scripted_storm(
           seed + static_cast<std::uint64_t>(cell++), n, rate, 600.0,
           mean_fault);
+      // Each cell is an independent fleet restarting the simulated clock;
+      // namespace its lanes so one trace file holds the whole sweep
+      // without overlaying cells on top of each other.
+      util::tracer().set_lane_prefix("d" + std::to_string(n) + " " +
+                                     rate_label(rate) + " ");
       core::VpuTarget vpu(bundle, cfg);
       const auto run = vpu.run_timed(images, n);
       const double tput = run.throughput();
@@ -132,6 +137,7 @@ int main(int argc, char** argv) {
 
   double clean_tput = 0.0;
   {
+    util::tracer().set_lane_prefix("replug-baseline ");
     core::VpuTarget vpu(bundle, make_config(n));
     clean_tput = vpu.run_timed(images, n).throughput();
   }
@@ -142,6 +148,7 @@ int main(int argc, char** argv) {
 
   auto cfg = make_config(n);
   cfg.faults.add(victim, sim::FaultKind::kDetach, detach_at, detach_for);
+  util::tracer().set_lane_prefix("replug ");
   core::VpuTarget vpu(bundle, cfg);
   const auto run = vpu.run_timed(images, n);
 

@@ -1,0 +1,255 @@
+#include "check/tracelint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace ncsw::check {
+
+namespace {
+
+// Lane-name helpers. Host lanes are "[prefix ]dev<N> host" (mvnc API
+// spans carrying seq args), health lanes "[prefix ]dev<N> health" (the
+// runner's fault instants). The shared key is the name minus the suffix,
+// so prefixed bench phases ("overlap-on dev0 host") pair independently.
+bool strip_suffix(const std::string& name, const std::string& suffix,
+                  std::string* key) {
+  if (name.size() <= suffix.size()) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  std::string head = name.substr(0, name.size() - suffix.size());
+  // The token before the suffix must be "dev<digits>".
+  const auto last_space = head.find_last_of(' ');
+  const std::string tok =
+      last_space == std::string::npos ? head : head.substr(last_space + 1);
+  if (tok.size() < 4 || tok.compare(0, 3, "dev") != 0) return false;
+  for (std::size_t i = 3; i < tok.size(); ++i) {
+    if (tok[i] < '0' || tok[i] > '9') return false;
+  }
+  *key = head;
+  return true;
+}
+
+// Device key of any per-device lane ("[prefix ]dev<N> <role>" for role in
+// host/health/shave/layers/...): everything before the final word, when
+// it ends in a "dev<digits>" token. Empty when the lane is not
+// device-scoped ("scheduler", "usb usb-ch0").
+std::string dev_key(const std::string& name) {
+  const auto last_space = name.find_last_of(' ');
+  if (last_space == std::string::npos) return {};
+  std::string key;
+  if (!strip_suffix(name, name.substr(last_space), &key)) return {};
+  return key;
+}
+
+struct LaneState {
+  std::vector<double> open_ends;   // span-nesting stack (end ts, us)
+  std::deque<double> issued_seqs;  // LoadTensor seqs awaiting GetResult
+};
+
+// Timestamps and durations are serialised with %.12g (12 significant
+// digits), so back-to-back spans can disagree by half an ulp of the
+// 12th digit — an error that grows with the magnitude of the simulated
+// clock. Anything inside this slack is "touching", not overlapping.
+double ts_slack_us(double ts) {
+  return std::max(1e-3, std::abs(ts) * 1e-8);
+}
+
+double num_or(const util::JsonValue* v, double fallback) {
+  return v && v->is_number() ? v->number : fallback;
+}
+
+std::string str_or(const util::JsonValue* v, const std::string& fallback) {
+  return v && v->is_string() ? v->string : fallback;
+}
+
+}  // namespace
+
+std::string LintIssue::to_string() const {
+  std::string out = kind;
+  if (!lane.empty()) out += " on lane \"" + lane + "\"";
+  out += " at ts=" + util::JsonWriter::number(ts_us) + "us: " + detail;
+  return out;
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const LintIssue& issue : issues) {
+    out += "lint: " + issue.to_string() + "\n";
+  }
+  out += "lint: " + std::to_string(events) + " event(s), " +
+         std::to_string(spans) + " span(s), " + std::to_string(pairs) +
+         " issue/complete pair(s), " + std::to_string(lost_results) +
+         " result(s) lost to device loss, " + std::to_string(issues.size()) +
+         " issue(s)\n";
+  return out;
+}
+
+LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
+  LintReport report;
+  auto flag = [&](std::string kind, std::string lane, double ts_us,
+                  std::string detail) {
+    report.issues.push_back(
+        {std::move(kind), std::move(lane), ts_us, std::move(detail)});
+  };
+
+  const util::JsonValue* other = doc.find("otherData");
+  const std::string schema =
+      other ? str_or(other->find("schema"), "") : std::string();
+  if (schema != "ncsw-trace-v1") {
+    flag("bad-schema", "", 0.0,
+         "otherData.schema is \"" + schema + "\", expected ncsw-trace-v1");
+    return report;  // nothing below is meaningful on a foreign file
+  }
+  if (str_or(other->find("clock"), "") != "simulated") {
+    flag("bad-schema", "", 0.0, "otherData.clock is not \"simulated\"");
+  }
+  if (num_or(other->find("dropped_events"), 0.0) != 0.0) {
+    flag("dropped-events", "", 0.0,
+         "tracer dropped events past its capacity; pairing is unsound");
+  }
+  const util::JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array()) {
+    flag("bad-schema", "", 0.0, "traceEvents missing or not an array");
+    return report;
+  }
+
+  // Pass 1: lane names from the thread_name metadata events.
+  std::map<int, std::string> lane_names;
+  for (const util::JsonValue& ev : events->array) {
+    if (str_or(ev.find("ph"), "") != "M") continue;
+    if (str_or(ev.find("name"), "") != "thread_name") continue;
+    const int tid = static_cast<int>(num_or(ev.find("tid"), -1.0));
+    lane_names[tid] = str_or(ev.at_path({"args", "name"}), "");
+  }
+  auto lane_name = [&](int tid) {
+    const auto it = lane_names.find(tid);
+    return it != lane_names.end() ? it->second
+                                  : "tid" + std::to_string(tid);
+  };
+  // Health lane key -> host lane tid, to clear queues on "gone", and
+  // key -> every lane of that device, to retire its open spans too.
+  std::map<std::string, int> host_tid_by_key;
+  std::map<std::string, std::vector<int>> tids_by_key;
+  for (const auto& [tid, name] : lane_names) {
+    std::string key;
+    if (strip_suffix(name, " host", &key)) host_tid_by_key[key] = tid;
+    key = dev_key(name);
+    if (!key.empty()) tids_by_key[key].push_back(tid);
+  }
+
+  // Pass 2: walk events in file order (the writer sorts by timestamp).
+  std::map<int, LaneState> lanes;
+  double last_ts = 0.0;
+  bool first = true;
+  for (const util::JsonValue& ev : events->array) {
+    const std::string ph = str_or(ev.find("ph"), "");
+    if (ph == "M") continue;
+    const int tid = static_cast<int>(num_or(ev.find("tid"), 0.0));
+    const double ts = num_or(ev.find("ts"), 0.0);
+    const std::string name = str_or(ev.find("name"), "");
+    ++report.events;
+
+    // The simulated clock only moves forward in the serialised file.
+    if (!first && ts < last_ts) {
+      flag("non-monotonic-ts", lane_name(tid), ts,
+           "event \"" + name + "\" at " + util::JsonWriter::number(ts) +
+               "us after " + util::JsonWriter::number(last_ts) + "us");
+    }
+    first = false;
+    if (ts > last_ts) last_ts = ts;
+
+    if (ph == "i") {
+      if (!opts.allow_violations && name.rfind("violation:", 0) == 0) {
+        flag("recorded-violation", lane_name(tid), ts,
+             "runtime verifier recorded \"" + name + "\"");
+      }
+      std::string key;
+      if (name == "gone" && strip_suffix(lane_name(tid), " health", &key)) {
+        // The stick dropped off the bus: results queued on its host lane
+        // died with the link and will never be retrieved.
+        const auto it = host_tid_by_key.find(key);
+        if (it != host_tid_by_key.end()) {
+          auto& q = lanes[it->second].issued_seqs;
+          report.lost_results += q.size();
+          q.clear();
+        }
+        // Spans emitted before the loss (a queued exec stretching past
+        // the detach) no longer bound the re-enumerated device's work.
+        const auto lt = tids_by_key.find(key);
+        if (lt != tids_by_key.end()) {
+          for (const int dev_tid : lt->second) {
+            lanes[dev_tid].open_ends.clear();
+          }
+        }
+      }
+      continue;
+    }
+    if (ph != "X") continue;
+    ++report.spans;
+    const double dur = num_or(ev.find("dur"), 0.0);
+    const double end = ts + dur;
+    LaneState& lane = lanes[tid];
+
+    // Spans on one lane must nest or be disjoint; partial overlap means
+    // a stale host cursor at emission.
+    auto& stack = lane.open_ends;
+    const double slack = ts_slack_us(ts);
+    while (!stack.empty() && stack.back() <= ts + slack) stack.pop_back();
+    if (!stack.empty() && end > stack.back() + slack) {
+      flag("span-overlap", lane_name(tid), ts,
+           "span \"" + name + "\" [" + util::JsonWriter::number(ts) + ", " +
+               util::JsonWriter::number(end) +
+               "]us partially overlaps an enclosing span ending at " +
+               util::JsonWriter::number(stack.back()) + "us");
+    } else {
+      stack.push_back(end);
+    }
+
+    // FIFO issue/complete pairing on the mvnc host lanes.
+    std::string key;
+    if (!strip_suffix(lane_name(tid), " host", &key)) continue;
+    const util::JsonValue* seq_arg = ev.at_path({"args", "seq"});
+    if (!seq_arg || !seq_arg->is_number()) continue;
+    const double seq = seq_arg->number;
+    if (name == "LoadTensor") {
+      lane.issued_seqs.push_back(seq);
+    } else if (name == "GetResult") {
+      auto& q = lane.issued_seqs;
+      // Results whose seqs were skipped died in a detach window that was
+      // replugged before its "gone" instant (the device re-enumerated);
+      // count them as losses, not errors.
+      while (!q.empty() && q.front() < seq) {
+        q.pop_front();
+        ++report.lost_results;
+      }
+      if (!q.empty() && q.front() == seq) {
+        q.pop_front();
+        ++report.pairs;
+      } else if (q.empty()) {
+        flag("unmatched-complete", lane_name(tid), ts,
+             "GetResult seq " + util::JsonWriter::number(seq) +
+                 " without a matching LoadTensor");
+      } else {
+        flag("seq-inversion", lane_name(tid), ts,
+             "GetResult seq " + util::JsonWriter::number(seq) +
+                 " but the oldest outstanding LoadTensor is seq " +
+                 util::JsonWriter::number(q.front()));
+      }
+    }
+  }
+  return report;
+}
+
+std::optional<LintReport> lint_trace_text(const std::string& text,
+                                          const LintOptions& opts,
+                                          std::string* error) {
+  const auto doc = util::json_parse(text, error);
+  if (!doc) return std::nullopt;
+  return lint_trace(*doc, opts);
+}
+
+}  // namespace ncsw::check

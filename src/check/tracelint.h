@@ -1,0 +1,63 @@
+// Offline protocol invariants over a recorded trace file.
+//
+// The runtime verifier (check/protocol.h) watches live mvnc:: calls; the
+// trace lint replays a Chrome trace-event JSON produced by the tracer
+// (util/trace.h, schema ncsw-trace-v1) and re-checks what must hold in
+// the *artifact*: the simulated clock only moves forward, spans on one
+// lane nest properly, and the LoadTensor/GetResult seq numbers on each
+// "dev<N> host" lane pair up FIFO-wise. This catches instrumentation
+// bugs (a span emitted with a stale cursor) and lets CI validate traces
+// from any bench without re-running it. Driven by tools/ncsw_lint.cpp.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ncsw::check {
+
+/// One invariant failure found in a trace file.
+struct LintIssue {
+  std::string kind;    ///< stable slug: "bad-schema", "non-monotonic-ts",
+                       ///< "span-overlap", "unmatched-complete",
+                       ///< "seq-inversion", "recorded-violation"
+  std::string lane;    ///< lane (thread) name, empty for file-level issues
+  double ts_us = 0.0;  ///< timestamp of the offending event (microseconds)
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// Knobs for lint_trace.
+struct LintOptions {
+  /// Accept traces containing "violation:*" instants from the runtime
+  /// verifier instead of flagging them (for linting known-bad runs).
+  bool allow_violations = false;
+};
+
+/// Lint result. `ok()` == no issues.
+struct LintReport {
+  std::vector<LintIssue> issues;
+  std::size_t events = 0;        ///< non-metadata events inspected
+  std::size_t spans = 0;         ///< complete ('X') spans inspected
+  std::size_t pairs = 0;         ///< LoadTensor/GetResult seq pairs matched
+  std::size_t lost_results = 0;  ///< issued seqs dropped by a device loss
+
+  bool ok() const { return issues.empty(); }
+  /// Multi-line human-readable summary (one line per issue + totals).
+  std::string to_string() const;
+};
+
+/// Check a parsed ncsw-trace-v1 document.
+LintReport lint_trace(const util::JsonValue& doc,
+                      const LintOptions& opts = {});
+
+/// Parse + lint raw JSON text. nullopt (and `error`) on malformed JSON.
+std::optional<LintReport> lint_trace_text(const std::string& text,
+                                          const LintOptions& opts = {},
+                                          std::string* error = nullptr);
+
+}  // namespace ncsw::check

@@ -34,7 +34,9 @@ void VpuTarget::open_all() {
   host.degraded_device = config_.degraded_device;
   host.degraded_factor = config_.degraded_factor;
   host.faults = config_.faults;
+  host.check = config_.check;
   mvnc::host_reset(host);
+  host_generation_ = mvnc::host_generation();
 
   for (int d = 0; d < config_.devices; ++d) {
     char name[64];
@@ -63,9 +65,16 @@ void VpuTarget::open_all() {
 }
 
 void VpuTarget::close_all() {
-  for (void* g : graph_handles_) mvnc::mvncDeallocateGraph(g);
+  if (mvnc::host_generation() == host_generation_) {
+    for (void* g : graph_handles_) {
+      if (g) mvnc::mvncDeallocateGraph(g);
+    }
+    for (void* d : device_handles_) mvnc::mvncCloseDevice(d);
+  }
+  // Otherwise a later host_reset (another target's open_all) already
+  // invalidated every handle — feeding the stale pointers back into the
+  // API could hit an address reused by the new host's handles.
   graph_handles_.clear();
-  for (void* d : device_handles_) mvnc::mvncCloseDevice(d);
   device_handles_.clear();
 }
 
@@ -202,9 +211,12 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
     } else {
       // Transient quarantine: re-admit at the probe time and retire stale
       // queued results left over from before the quarantine (their images
-      // were already replayed elsewhere).
+      // were already replayed elsewhere). Only retrieve what is actually
+      // outstanding — a GetResult with nothing in flight is a protocol
+      // violation.
       mvnc::set_host_time(graph_handles_[d], t);
-      for (;;) {
+      for (int left = mvnc::pending_results(graph_handles_[d]); left > 0;
+           --left) {
         void* out = nullptr;
         unsigned int out_len = 0;
         if (mvnc::mvncGetResult(graph_handles_[d], &out, &out_len,
@@ -244,13 +256,17 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
       if (st == mvnc::MVNC_BUSY) {
         // FIFO full (a scripted busy storm, or stale inferences from an
         // earlier timeout): retire the oldest queued result and retry
-        // the load instead of aborting the batch.
-        void* out = nullptr;
-        unsigned int out_len = 0;
-        if (mvnc::mvncGetResult(graph_handles_[d], &out, &out_len,
-                                nullptr) == mvnc::MVNC_OK) {
-          dev_counter(d, "busy_drains").add(1);
-          continue;  // slot freed; the drained image was already replayed
+        // the load instead of aborting the batch. When nothing is
+        // outstanding the BUSY came from a scripted storm, not the FIFO
+        // — probing GetResult then would be a protocol violation.
+        if (mvnc::pending_results(graph_handles_[d]) > 0) {
+          void* out = nullptr;
+          unsigned int out_len = 0;
+          if (mvnc::mvncGetResult(graph_handles_[d], &out, &out_len,
+                                  nullptr) == mvnc::MVNC_OK) {
+            dev_counter(d, "busy_drains").add(1);
+            continue;  // slot freed; the drained image was already replayed
+          }
         }
         if (!transient_retry(d, "busy")) return false;
         continue;

@@ -51,6 +51,10 @@ struct VpuTargetConfig {
   /// images in TimedRun::images_lost (used by the chaos bench to plot
   /// graceful degradation past the cliff).
   bool allow_partial = false;
+  /// NCAPI protocol verifier mode forwarded to the host (see
+  /// check/protocol.h). kDefault resolves through
+  /// check::set_default_mode() / $NCSW_CHECK, falling back to off.
+  check::CheckMode check = check::CheckMode::kDefault;
 };
 
 /// Target driving 1..N simulated Neural Compute Sticks through the mvnc
@@ -95,6 +99,10 @@ class VpuTarget : public Target {
   VpuTargetConfig config_;
   std::vector<void*> device_handles_;
   std::vector<void*> graph_handles_;
+  /// mvnc host generation our handles belong to. A later host_reset (for
+  /// example another VpuTarget's open_all) invalidates every handle, so
+  /// close_all must not feed them back into the API.
+  std::uint64_t host_generation_ = 0;
 };
 
 }  // namespace ncsw::core

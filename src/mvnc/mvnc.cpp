@@ -1,14 +1,16 @@
 #include "mvnc/mvnc.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
-#include <unordered_set>
+#include <unordered_map>
 
+#include "check/protocol.h"
 #include "mvnc/sim_host.h"
 #include "tensor/tensor.h"
 #include "util/metrics.h"
@@ -23,11 +25,13 @@ struct GraphState;
 struct DeviceState {
   std::unique_ptr<ncs::NcsDevice> device;
   bool handle_open = false;  // an mvncOpenDevice handle exists
-  std::vector<GraphState*> graphs;
+  std::vector<GraphState*> graphs;  // guarded by g_mutex
 };
 
 struct GraphState {
-  DeviceState* dev = nullptr;
+  // Shared ownership keeps the stick alive for API calls that fetched
+  // this graph before a concurrent host_reset tore the device down.
+  std::shared_ptr<DeviceState> dev;
   graphc::CompiledGraph compiled;
   const nn::Graph* func_graph = nullptr;
   const nn::WeightsH* func_weights = nullptr;
@@ -36,6 +40,7 @@ struct GraphState {
   std::optional<nn::WeightsH> owned_weights;
 
   std::mutex mutex;
+  bool dead = false;           // deallocated/closed; guarded by mutex
   double host_clock = 0.0;     // simulated host-time cursor for this handle
   double inter_op_gap = 0.0;   // host gap after each retrieved result
   // GetResult watchdog budget (infinity = block forever, NCSDK default).
@@ -52,31 +57,39 @@ struct GraphState {
 
 struct HostState {
   std::unique_ptr<ncs::UsbTopology> topology;
-  std::vector<std::unique_ptr<DeviceState>> devices;
-  std::unordered_set<void*> device_handles;
-  std::unordered_set<void*> graph_handles;
+  std::vector<std::shared_ptr<DeviceState>> devices;
+  // Handle -> owner maps. Lookups hand out shared_ptr copies so a state
+  // object stays alive for a call racing a CloseDevice/DeallocateGraph/
+  // host_reset on another thread; such a call then observes `dead` (or a
+  // missing map entry) instead of freed memory.
+  std::unordered_map<void*, std::shared_ptr<DeviceState>> device_handles;
+  std::unordered_map<void*, std::shared_ptr<GraphState>> graph_handles;
 };
 
 std::mutex g_mutex;
 HostState g_host;
+std::atomic<std::uint64_t> g_generation{0};
 
-DeviceState* as_device(void* handle) {
-  if (g_host.device_handles.count(handle) == 0) return nullptr;
-  return static_cast<DeviceState*>(handle);
+std::shared_ptr<DeviceState> as_device(void* handle) {
+  const auto it = g_host.device_handles.find(handle);
+  return it == g_host.device_handles.end() ? nullptr : it->second;
 }
 
-GraphState* as_graph(void* handle) {
-  if (g_host.graph_handles.count(handle) == 0) return nullptr;
-  return static_cast<GraphState*>(handle);
+std::shared_ptr<GraphState> as_graph(void* handle) {
+  const auto it = g_host.graph_handles.find(handle);
+  return it == g_host.graph_handles.end() ? nullptr : it->second;
 }
 
-void destroy_graph_locked(GraphState* g) {
+void destroy_graph_locked(void* handle, const std::shared_ptr<GraphState>& g) {
   if (g->dev) {
     auto& vec = g->dev->graphs;
-    vec.erase(std::remove(vec.begin(), vec.end(), g), vec.end());
+    vec.erase(std::remove(vec.begin(), vec.end(), g.get()), vec.end());
   }
-  g_host.graph_handles.erase(g);
-  delete g;
+  {
+    std::lock_guard glock(g->mutex);
+    g->dead = true;
+  }
+  g_host.graph_handles.erase(handle);
 }
 
 }  // namespace
@@ -86,9 +99,15 @@ void destroy_graph_locked(GraphState* g) {
 // ---------------------------------------------------------------------------
 
 void host_reset(const HostConfig& config) {
+  check::verifier().configure(config.check);
   std::lock_guard lock(g_mutex);
-  // Free outstanding graph handles.
-  for (void* h : g_host.graph_handles) delete static_cast<GraphState*>(h);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  // Invalidate outstanding graph handles; shared_ptrs held by calls
+  // racing this reset keep the objects alive until those calls return.
+  for (auto& [handle, g] : g_host.graph_handles) {
+    std::lock_guard glock(g->mutex);
+    g->dead = true;
+  }
   g_host.graph_handles.clear();
   g_host.device_handles.clear();
   g_host.devices.clear();
@@ -118,7 +137,7 @@ void host_reset(const HostConfig& config) {
     if (d == config.degraded_device && config.degraded_factor > 1.0) {
       dev_cfg.chip.clock_hz /= config.degraded_factor;
     }
-    auto state = std::make_unique<DeviceState>();
+    auto state = std::make_shared<DeviceState>();
     state->device = std::make_unique<ncs::NcsDevice>(
         d, g_host.topology->channel_for(d), dev_cfg);
     if (!config.faults.empty()) {
@@ -126,6 +145,10 @@ void host_reset(const HostConfig& config) {
     }
     g_host.devices.push_back(std::move(state));
   }
+}
+
+std::uint64_t host_generation() {
+  return g_generation.load(std::memory_order_relaxed);
 }
 
 int host_device_count() {
@@ -142,7 +165,7 @@ ncs::UsbTopology& host_topology() {
 bool set_functional_network(void* graphHandle, const nn::Graph* graph,
                             const nn::WeightsH* weights) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
   if (!g) return false;
   if ((graph == nullptr) != (weights == nullptr)) return false;
   if (graph) {
@@ -157,7 +180,7 @@ bool set_functional_network(void* graphHandle, const nn::Graph* graph,
 
 std::optional<ncs::InferenceTicket> last_ticket(void* graphHandle) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
   if (!g) return std::nullopt;
   std::lock_guard glock(g->mutex);
   return g->last_ticket;
@@ -165,7 +188,7 @@ std::optional<ncs::InferenceTicket> last_ticket(void* graphHandle) {
 
 bool set_host_time(void* graphHandle, double t) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
   if (!g) return false;
   std::lock_guard glock(g->mutex);
   g->host_clock = std::max(g->host_clock, t);
@@ -174,7 +197,7 @@ bool set_host_time(void* graphHandle, double t) {
 
 std::optional<double> host_time(void* graphHandle) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
   if (!g) return std::nullopt;
   std::lock_guard glock(g->mutex);
   return g->host_clock;
@@ -182,7 +205,7 @@ std::optional<double> host_time(void* graphHandle) {
 
 bool set_inter_op_gap(void* graphHandle, double gap_s) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
   if (!g || gap_s < 0) return false;
   std::lock_guard glock(g->mutex);
   g->inter_op_gap = gap_s;
@@ -191,30 +214,41 @@ bool set_inter_op_gap(void* graphHandle, double gap_s) {
 
 bool set_watchdog(void* graphHandle, double timeout_s) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
   if (!g || timeout_s < 0) return false;
   std::lock_guard glock(g->mutex);
   g->watchdog_s = timeout_s;
+  check::verifier().on_watchdog(graphHandle, timeout_s, g->host_clock);
   return true;
 }
 
 std::optional<double> replug_device(void* deviceHandle, double t) {
   std::lock_guard lock(g_mutex);
-  DeviceState* d = as_device(deviceHandle);
+  const std::shared_ptr<DeviceState> d = as_device(deviceHandle);
   if (!d) return std::nullopt;
-  return d->device->replug(t);
+  const std::optional<double> ready = d->device->replug(t);
+  if (ready) check::verifier().on_replug(deviceHandle, *ready);
+  return ready;
 }
 
 ncs::NcsDevice* device_of(void* deviceHandle) {
   std::lock_guard lock(g_mutex);
-  DeviceState* d = as_device(deviceHandle);
+  const std::shared_ptr<DeviceState> d = as_device(deviceHandle);
   return d ? d->device.get() : nullptr;
 }
 
 ncs::NcsDevice* graph_device(void* graphHandle) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
   return g && g->dev ? g->dev->device.get() : nullptr;
+}
+
+int pending_results(void* graphHandle) {
+  std::lock_guard lock(g_mutex);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
+  if (!g) return -1;
+  std::lock_guard glock(g->mutex);
+  return static_cast<int>(g->pending.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -239,13 +273,19 @@ mvncStatus mvncOpenDevice(const char* name, void** deviceHandle) {
   std::lock_guard lock(g_mutex);
   for (auto& state : g_host.devices) {
     if (state->device->name() == name) {
-      if (state->handle_open) return MVNC_BUSY;
+      if (state->handle_open) {
+        check::verifier().on_open(state.get(), state->device->id(),
+                                  MVNC_BUSY, 0.0);
+        return MVNC_BUSY;
+      }
       if (!state->device->is_open()) {
         state->device->open(0.0);
       }
       state->handle_open = true;
-      g_host.device_handles.insert(state.get());
+      g_host.device_handles.emplace(state.get(), state);
       *deviceHandle = state.get();
+      check::verifier().on_open(state.get(), state->device->id(), MVNC_OK,
+                                0.0);
       return MVNC_OK;
     }
   }
@@ -254,14 +294,18 @@ mvncStatus mvncOpenDevice(const char* name, void** deviceHandle) {
 
 mvncStatus mvncCloseDevice(void* deviceHandle) {
   std::lock_guard lock(g_mutex);
-  DeviceState* d = as_device(deviceHandle);
-  if (!d) return MVNC_INVALID_PARAMETERS;
+  const std::shared_ptr<DeviceState> d = as_device(deviceHandle);
+  if (!d) {
+    check::verifier().on_close(deviceHandle, MVNC_INVALID_PARAMETERS, 0.0);
+    return MVNC_INVALID_PARAMETERS;
+  }
   // Graph handles on this device become invalid.
   for (GraphState* g : std::vector<GraphState*>(d->graphs)) {
-    destroy_graph_locked(g);
+    if (const auto owned = as_graph(g)) destroy_graph_locked(g, owned);
   }
   d->handle_open = false;
   g_host.device_handles.erase(deviceHandle);
+  check::verifier().on_close(deviceHandle, MVNC_OK, 0.0);
   return MVNC_OK;
 }
 
@@ -272,8 +316,12 @@ mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
     return MVNC_INVALID_PARAMETERS;
   }
   std::lock_guard lock(g_mutex);
-  DeviceState* d = as_device(deviceHandle);
-  if (!d) return MVNC_INVALID_PARAMETERS;
+  const std::shared_ptr<DeviceState> d = as_device(deviceHandle);
+  if (!d) {
+    check::verifier().on_allocate(deviceHandle, nullptr, 0,
+                                  MVNC_INVALID_PARAMETERS, 0.0);
+    return MVNC_INVALID_PARAMETERS;
+  }
 
   const auto* bytes = static_cast<const std::uint8_t*>(graphFile);
   graphc::GraphPackage package;
@@ -288,7 +336,7 @@ mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
     return MVNC_UNSUPPORTED_GRAPH_FILE;
   }
 
-  auto g = std::make_unique<GraphState>();
+  auto g = std::make_shared<GraphState>();
   g->dev = d;
   try {
     const double ready = d->device->allocate_graph(package.compiled, 0.0);
@@ -306,34 +354,64 @@ mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
     g->func_graph = &*g->owned_graph;
     g->func_weights = &*g->owned_weights;
   }
-  GraphState* raw = g.release();
+  GraphState* raw = g.get();
   d->graphs.push_back(raw);
-  g_host.graph_handles.insert(raw);
+  g_host.graph_handles.emplace(raw, std::move(g));
   *graphHandle = raw;
+  check::verifier().on_allocate(deviceHandle, raw,
+                                d->device->config().fifo_depth, MVNC_OK,
+                                raw->host_clock);
   return MVNC_OK;
 }
 
 mvncStatus mvncDeallocateGraph(void* graphHandle) {
   std::lock_guard lock(g_mutex);
-  GraphState* g = as_graph(graphHandle);
-  if (!g) return MVNC_INVALID_PARAMETERS;
-  destroy_graph_locked(g);
+  const std::shared_ptr<GraphState> g = as_graph(graphHandle);
+  if (!g) {
+    check::verifier().on_deallocate(graphHandle, MVNC_INVALID_PARAMETERS,
+                                    0.0);
+    return MVNC_INVALID_PARAMETERS;
+  }
+  double t = 0.0;
+  {
+    std::lock_guard glock(g->mutex);
+    t = g->host_clock;
+  }
+  destroy_graph_locked(graphHandle, g);
+  check::verifier().on_deallocate(graphHandle, MVNC_OK, t);
   return MVNC_OK;
 }
 
 mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
                           unsigned int inputTensorLength, void* userParam) {
-  GraphState* g;
+  std::shared_ptr<GraphState> g;
   {
     std::lock_guard lock(g_mutex);
     g = as_graph(graphHandle);
   }
-  if (!g || !inputTensor) return MVNC_INVALID_PARAMETERS;
+  if (!g || !inputTensor) {
+    check::verifier().on_load(graphHandle, MVNC_INVALID_PARAMETERS, 0.0);
+    return MVNC_INVALID_PARAMETERS;
+  }
 
   std::lock_guard glock(g->mutex);
+  if (g->dead) {
+    // The handle was deallocated between the lookup and here.
+    check::verifier().on_load(graphHandle, MVNC_INVALID_PARAMETERS,
+                              g->host_clock);
+    return MVNC_INVALID_PARAMETERS;
+  }
   const auto expected =
       static_cast<unsigned int>(g->compiled.input_bytes());
   if (inputTensorLength != expected) return MVNC_INVALID_PARAMETERS;
+  if (g->dev->device->is_open() && !g->dev->device->has_graph()) {
+    // The firmware rebooted (detach + hot replug) and lost the graph;
+    // the handle is stale and must be re-allocated. While the stick is
+    // still off the bus the call maps to MVNC_GONE below instead.
+    check::verifier().on_load(graphHandle, MVNC_INVALID_PARAMETERS,
+                              g->host_clock);
+    return MVNC_INVALID_PARAMETERS;
+  }
 
   static util::Counter& m_loads =
       util::metrics().counter("mvnc.load_tensor.calls");
@@ -347,13 +425,16 @@ mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
     // Scripted transient transfer fault: nothing was queued; the caller
     // may retry once the window has passed (advance the host clock).
     util::metrics().counter("mvnc.transient_errors").add(1);
+    check::verifier().on_load(graphHandle, MVNC_ERROR, g->host_clock);
     return MVNC_ERROR;
   } catch (const ncs::DeviceUnplugged&) {
     g->pending.clear();
+    check::verifier().on_load(graphHandle, MVNC_GONE, g->host_clock);
     return MVNC_GONE;
   }
   if (!ticket) {
     m_busy.add(1);
+    check::verifier().on_load(graphHandle, MVNC_BUSY, g->host_clock);
     return MVNC_BUSY;
   }
   g->host_clock = ticket->input_done;
@@ -385,20 +466,33 @@ mvncStatus mvncLoadTensor(void* graphHandle, const void* inputTensor,
         ncsw::fp16::half{});
   }
   g->pending.push_back(std::move(pending));
+  check::verifier().on_load(graphHandle, MVNC_OK, g->host_clock);
   return MVNC_OK;
 }
 
 mvncStatus mvncGetResult(void* graphHandle, void** outputData,
                          unsigned int* outputDataLength, void** userParam) {
-  GraphState* g;
+  std::shared_ptr<GraphState> g;
   {
     std::lock_guard lock(g_mutex);
     g = as_graph(graphHandle);
   }
-  if (!g || !outputData || !outputDataLength) return MVNC_INVALID_PARAMETERS;
+  if (!g || !outputData || !outputDataLength) {
+    check::verifier().on_get(graphHandle, MVNC_INVALID_PARAMETERS, 0.0);
+    return MVNC_INVALID_PARAMETERS;
+  }
 
   std::lock_guard glock(g->mutex);
-  if (g->pending.empty()) return MVNC_NO_DATA;
+  if (g->dead) {
+    // The handle was deallocated between the lookup and here.
+    check::verifier().on_get(graphHandle, MVNC_INVALID_PARAMETERS,
+                             g->host_clock);
+    return MVNC_INVALID_PARAMETERS;
+  }
+  if (g->pending.empty()) {
+    check::verifier().on_get(graphHandle, MVNC_NO_DATA, g->host_clock);
+    return MVNC_NO_DATA;
+  }
   static util::Counter& m_gets =
       util::metrics().counter("mvnc.get_result.calls");
   m_gets.add(1);
@@ -418,9 +512,11 @@ mvncStatus mvncGetResult(void* graphHandle, void** outputData,
           tr.lane("dev" + std::to_string(g->dev->device->id()) + " host"),
           wait_from, timeout.gave_up_at);
     }
+    check::verifier().on_get(graphHandle, MVNC_TIMEOUT, g->host_clock);
     return MVNC_TIMEOUT;
   } catch (const ncs::DeviceUnplugged&) {
     g->pending.clear();  // in-flight results died with the link
+    check::verifier().on_get(graphHandle, MVNC_GONE, g->host_clock);
     return MVNC_GONE;
   }
   if (!ticket) return MVNC_ERROR;  // FIFO desync: should be impossible
@@ -445,12 +541,13 @@ mvncStatus mvncGetResult(void* graphHandle, void** outputData,
   *outputDataLength = static_cast<unsigned int>(
       g->last_output.size() * sizeof(ncsw::fp16::half));
   if (userParam) *userParam = pending.user;
+  check::verifier().on_get(graphHandle, MVNC_OK, g->host_clock);
   return MVNC_OK;
 }
 
 mvncStatus mvncGetGraphOption(void* graphHandle, int option, void* data,
                               unsigned int* dataLength) {
-  GraphState* g;
+  std::shared_ptr<GraphState> g;
   {
     std::lock_guard lock(g_mutex);
     g = as_graph(graphHandle);
@@ -458,8 +555,12 @@ mvncStatus mvncGetGraphOption(void* graphHandle, int option, void* data,
   if (!g || !data || !dataLength) return MVNC_INVALID_PARAMETERS;
 
   std::lock_guard glock(g->mutex);
+  if (g->dead) return MVNC_INVALID_PARAMETERS;
   switch (option) {
     case MVNC_TIME_TAKEN: {
+      // Stale after a detach + replug: the firmware lost the graph (and
+      // with it the layer profile) until the host re-allocates.
+      if (!g->dev->device->has_graph()) return MVNC_INVALID_PARAMETERS;
       const auto& profile = g->dev->device->profile();
       const unsigned int needed = static_cast<unsigned int>(
           profile.layers.size() * sizeof(float));
@@ -492,7 +593,7 @@ mvncStatus mvncGetGraphOption(void* graphHandle, int option, void* data,
 
 mvncStatus mvncGetDeviceOption(void* deviceHandle, int option, void* data,
                                unsigned int* dataLength) {
-  DeviceState* d;
+  std::shared_ptr<DeviceState> d;
   {
     std::lock_guard lock(g_mutex);
     d = as_device(deviceHandle);
@@ -534,7 +635,7 @@ mvncStatus mvncGetDeviceOption(void* deviceHandle, int option, void* data,
 
 mvncStatus mvncSetDeviceOption(void* deviceHandle, int option,
                                const void* data, unsigned int dataLength) {
-  DeviceState* d;
+  std::shared_ptr<DeviceState> d;
   {
     std::lock_guard lock(g_mutex);
     d = as_device(deviceHandle);

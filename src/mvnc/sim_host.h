@@ -7,10 +7,12 @@
 // behave exactly like the paper's Listing 1.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "check/protocol.h"
 #include "ncs/device.h"
 #include "ncs/usb.h"
 #include "nn/executor.h"
@@ -37,11 +39,23 @@ struct HostConfig {
   /// detach/reattach). Empty by default: fault-free behaviour is
   /// byte-identical to a host without fault injection.
   sim::FaultPlan faults;
+  /// NCAPI protocol verifier mode (see check/protocol.h): kOff disables
+  /// checking entirely (byte-identical output), kLog records violations
+  /// into check.violation.* counters and trace instants, kStrict
+  /// additionally throws check::ProtocolViolation at the offending call.
+  /// kDefault resolves through check::set_default_mode() / $NCSW_CHECK.
+  check::CheckMode check = check::CheckMode::kDefault;
 };
 
 /// (Re)initialise the global simulated host. Any previously returned
 /// device/graph handle becomes invalid (calls on them return MVNC_GONE).
 void host_reset(const HostConfig& config);
+
+/// Monotonic counter bumped by every host_reset. A holder of device or
+/// graph handles records the generation at setup and must stop using —
+/// including closing/deallocating — its handles once it changes: the
+/// addresses may since have been reused by another host's handles.
+std::uint64_t host_generation();
 
 /// Current number of simulated sticks (0 when the host was never set up).
 int host_device_count();
@@ -94,5 +108,11 @@ ncs::NcsDevice* device_of(void* deviceHandle);
 
 /// The underlying device of a *graph* handle (nullptr on a bad handle).
 ncs::NcsDevice* graph_device(void* graphHandle);
+
+/// Results retrievable on the handle right now: inferences issued with
+/// LoadTensor whose GetResult has not happened yet. -1 on a bad handle.
+/// Drain loops should consult this instead of probing GetResult until it
+/// fails — a GetResult with nothing outstanding is a protocol violation.
+int pending_results(void* graphHandle);
 
 }  // namespace ncsw::mvnc

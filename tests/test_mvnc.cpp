@@ -5,11 +5,17 @@
 
 #include <cstring>
 
+#include "check/protocol.h"
 #include "nn/googlenet.h"
 
 namespace {
 
 using namespace ncsw::mvnc;
+using ncsw::check::ViolationKind;
+
+std::uint64_t violations(ViolationKind kind) {
+  return ncsw::check::verifier().count(kind);
+}
 using ncsw::graphc::compile;
 using ncsw::graphc::Precision;
 using ncsw::graphc::serialize;
@@ -25,6 +31,11 @@ class MvncTest : public ::testing::Test {
   void SetUp() override {
     HostConfig cfg;
     cfg.devices = 2;
+    // Several cases below commit *intentional* protocol misuse (double
+    // close, FIFO over-issue, ...) to pin down the NCAPI error codes, so
+    // the fixture runs the verifier in log mode and asserts on its
+    // counters instead of letting a suite-wide NCSW_CHECK=strict abort.
+    cfg.check = ncsw::check::CheckMode::kLog;
     host_reset(cfg);
   }
   void TearDown() override {
@@ -83,6 +94,7 @@ TEST_F(MvncTest, DoubleOpenIsBusy) {
   ASSERT_NE(dev, nullptr);
   void* dev2 = nullptr;
   EXPECT_EQ(mvncOpenDevice("/sim/ncs0", &dev2), MVNC_BUSY);
+  EXPECT_EQ(violations(ViolationKind::kDoubleOpen), 1u);
   EXPECT_EQ(mvncCloseDevice(dev), MVNC_OK);
 }
 
@@ -90,6 +102,7 @@ TEST_F(MvncTest, CloseInvalidatesHandle) {
   void* dev = open_first();
   EXPECT_EQ(mvncCloseDevice(dev), MVNC_OK);
   EXPECT_EQ(mvncCloseDevice(dev), MVNC_INVALID_PARAMETERS);
+  EXPECT_EQ(violations(ViolationKind::kDoubleClose), 1u);
 }
 
 TEST_F(MvncTest, AllocateGraphRejectsGarbage) {
@@ -166,6 +179,7 @@ TEST_F(MvncTest, GetResultWithoutLoadIsNoData) {
   void* out = nullptr;
   unsigned int len = 0;
   EXPECT_EQ(mvncGetResult(graph, &out, &len, nullptr), MVNC_NO_DATA);
+  EXPECT_EQ(violations(ViolationKind::kUnmatchedGetResult), 1u);
 }
 
 TEST_F(MvncTest, FifoFullReturnsBusy) {
@@ -176,10 +190,12 @@ TEST_F(MvncTest, FifoFullReturnsBusy) {
   EXPECT_EQ(mvncLoadTensor(graph, input.data(), bytes, nullptr), MVNC_OK);
   EXPECT_EQ(mvncLoadTensor(graph, input.data(), bytes, nullptr), MVNC_OK);
   EXPECT_EQ(mvncLoadTensor(graph, input.data(), bytes, nullptr), MVNC_BUSY);
+  EXPECT_EQ(violations(ViolationKind::kOverIssue), 1u);
   void* out;
   unsigned int len;
   EXPECT_EQ(mvncGetResult(graph, &out, &len, nullptr), MVNC_OK);
   EXPECT_EQ(mvncLoadTensor(graph, input.data(), bytes, nullptr), MVNC_OK);
+  EXPECT_EQ(violations(ViolationKind::kOverIssue), 1u);
 }
 
 TEST_F(MvncTest, ResultsComeBackInFifoOrder) {
@@ -286,6 +302,8 @@ TEST_F(MvncTest, DeallocateInvalidatesGraphHandle) {
                            static_cast<unsigned int>(input.size() * 2),
                            nullptr),
             MVNC_INVALID_PARAMETERS);
+  // Both the double dealloc and the load on the dead handle are flagged.
+  EXPECT_EQ(violations(ViolationKind::kUseAfterDealloc), 2u);
 }
 
 TEST_F(MvncTest, CloseDeviceInvalidatesItsGraphs) {
@@ -296,6 +314,7 @@ TEST_F(MvncTest, CloseDeviceInvalidatesItsGraphs) {
   unsigned int len;
   EXPECT_EQ(mvncGetResult(graph, &out, &len, nullptr),
             MVNC_INVALID_PARAMETERS);
+  EXPECT_EQ(violations(ViolationKind::kUseAfterClose), 1u);
 }
 
 TEST_F(MvncTest, FunctionalNetworkValidatesShape) {
@@ -350,8 +369,11 @@ TEST_F(MvncTest, UnpluggedDeviceReturnsGone) {
   unsigned int len;
   EXPECT_EQ(mvncGetResult(graph, &out, &len, nullptr), MVNC_GONE);
   EXPECT_EQ(mvncLoadTensor(graph, input.data(), bytes, nullptr), MVNC_GONE);
-  // Nothing left queued after the loss.
+  // GONE is a device loss, not caller misuse; only the speculative final
+  // GetResult (nothing outstanding any more) is a contract violation.
   EXPECT_EQ(mvncGetResult(graph, &out, &len, nullptr), MVNC_NO_DATA);
+  EXPECT_EQ(ncsw::check::verifier().total(), 1u);
+  EXPECT_EQ(violations(ViolationKind::kUnmatchedGetResult), 1u);
 }
 
 TEST_F(MvncTest, HostResetInvalidatesEverything) {

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Verify every C++ source in the tree matches .clang-format.
+#
+#   tools/check_format.sh           # check, exit 1 on drift
+#   tools/check_format.sh --fix     # rewrite files in place
+#
+# Uses clang-format from $CLANG_FORMAT or PATH; exits 0 with a notice when
+# the tool is not installed so local builds never hard-depend on it (CI
+# installs clang-format and treats drift as failure).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping (install clang-format to enable)" >&2
+  exit 0
+fi
+
+mode=check
+[ "${1:-}" = "--fix" ] && mode=fix
+
+files=$(find src tests bench tools examples \
+  \( -name '*.cpp' -o -name '*.h' \) -type f | sort)
+
+if [ "$mode" = fix ]; then
+  # shellcheck disable=SC2086
+  "$CLANG_FORMAT" -i --style=file $files
+  echo "check_format: reformatted $(printf '%s\n' $files | wc -l) files"
+  exit 0
+fi
+
+bad=0
+for f in $files; do
+  if ! "$CLANG_FORMAT" --style=file --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs format: $f"
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "check_format: run tools/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: all files clean"

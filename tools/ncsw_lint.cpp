@@ -1,0 +1,83 @@
+// ncsw_lint — offline protocol lint over recorded trace files.
+//
+// Replays one or more ncsw-trace-v1 Chrome trace JSON files (written by
+// --trace on any bench, or ncsw_profile --trace) through the trace lint
+// (check/tracelint.h) and reports invariant violations: non-monotonic
+// simulated clock, mis-nested spans, LoadTensor/GetResult seq pairing,
+// runtime-verifier violation instants baked into the artifact.
+//
+//   ./build/tools/ncsw_lint overlap.trace.json
+//   ./build/tools/ncsw_lint --allow-violations chaos.trace.json
+//
+// Exit codes: 0 all traces clean, 1 lint issues found, 2 unreadable or
+// malformed input.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/tracelint.h"
+#include "util/cli.h"
+
+namespace {
+
+bool read_text(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ncsw;
+  util::Cli cli("ncsw_lint",
+                "lint recorded ncsw-trace-v1 files for protocol invariants");
+  cli.add_bool("allow-violations", false,
+               "accept traces that contain runtime verifier violation "
+               "instants (for linting known-bad runs)");
+  cli.add_bool("verbose", false, "print per-file statistics even when clean");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    if (cli.positional().empty()) {
+      std::cerr << "ncsw_lint: no trace files given\n" << cli.help();
+      return 2;
+    }
+
+    check::LintOptions opts;
+    opts.allow_violations = cli.get_bool("allow-violations");
+    const bool verbose = cli.get_bool("verbose");
+
+    int dirty = 0;
+    for (const std::string& path : cli.positional()) {
+      std::string text;
+      if (!read_text(path, &text)) {
+        std::cerr << "ncsw_lint: cannot read " << path << "\n";
+        return 2;
+      }
+      std::string error;
+      const auto report = check::lint_trace_text(text, opts, &error);
+      if (!report) {
+        std::cerr << "ncsw_lint: " << path << ": malformed JSON: " << error
+                  << "\n";
+        return 2;
+      }
+      if (!report->ok()) {
+        ++dirty;
+        std::cout << path << ": FAIL\n" << report->to_string();
+      } else if (verbose) {
+        std::cout << path << ": OK\n" << report->to_string();
+      } else {
+        std::cout << path << ": OK (" << report->events << " events, "
+                  << report->pairs << " seq pairs)\n";
+      }
+    }
+    return dirty == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ncsw_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
