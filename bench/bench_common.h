@@ -76,10 +76,15 @@ inline void finalize(const util::Cli& cli) {
 
 /// Machine-readable result of one harness run (schema "ncsw-bench-v1"):
 /// the bench name, the configuration it ran with, paper-anchor
-/// comparisons and free-form measured values. All timing is simulated.
+/// comparisons and free-form measured values. Timing is simulated unless
+/// the harness marks the report set_clock("wall") (bench/perf_forward).
 class BenchReport {
  public:
   explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Clock the report's timings were taken on: "simulated" (default) or
+  /// "wall" for host-side performance harnesses.
+  void set_clock(std::string clock) { clock_ = std::move(clock); }
 
   /// Record a configuration knob (shows up under "config").
   void config(const std::string& key, std::int64_t v) {
@@ -113,7 +118,7 @@ class BenchReport {
     w.begin_object();
     w.key("schema").value("ncsw-bench-v1");
     w.key("bench").value(bench_);
-    w.key("clock").value("simulated");
+    w.key("clock").value(clock_);
     w.key("config").begin_object();
     for (const auto& [k, v] : config_) w.key(k).raw(v);
     w.end_object();
@@ -148,6 +153,7 @@ class BenchReport {
   };
 
   std::string bench_;
+  std::string clock_ = "simulated";
   std::vector<std::pair<std::string, std::string>> config_;  // key, raw JSON
   std::vector<Anchor> anchors_;
   std::vector<std::pair<std::string, std::string>> values_;  // key, raw JSON

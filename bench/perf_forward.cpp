@@ -1,0 +1,185 @@
+// Wall-clock performance of the host inference engine (not a paper
+// figure): images/s of the functional TinyGoogLeNet forward pass for
+// FP32 and FP16, on the pre-PR reference kernels (the recorded baseline)
+// and on the cache-tuned kernels at 1 and N threads. Outputs are
+// bit-identical across all six cells (docs/performance.md), so the cells
+// differ only in time.
+//
+// The report (BENCH_perf_forward.json) is the one ncsw-bench-v1 report
+// on the *wall* clock: values record img/s per cell, the speedup ratios
+// and per-layer milliseconds of the optimised configuration. With
+// --trace the profiled passes emit one "host" span per layer, so
+// ncsw_profile-style viewers show where the time went.
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/model.h"
+#include "dataset/synthetic.h"
+#include "nn/executor.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  std::string name;      // e.g. "fp16 opt tN"
+  double img_per_s = 0;
+  double seconds = 0;
+  std::int64_t images = 0;
+};
+
+// Deterministic input batch (same fill as the golden tests, so every
+// timed cell computes the exact same tensors).
+template <typename T>
+ncsw::tensor::Tensor<T> make_input(const ncsw::nn::Graph& graph,
+                                   std::int64_t batch) {
+  const auto shape =
+      graph.layer(graph.input_id()).out_shape.with_batch(batch);
+  ncsw::tensor::TensorF in(shape);
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    in[i] = 0.01f * static_cast<float>(i % 97) - 0.3f;
+  }
+  return ncsw::tensor::tensor_cast<T>(in);
+}
+
+template <typename T>
+Cell time_cell(const std::string& name, const ncsw::nn::Graph& graph,
+               const ncsw::nn::Weights<T>& weights,
+               const ncsw::tensor::Tensor<T>& input,
+               const ncsw::nn::ExecOptions& opts, std::int64_t images) {
+  // Warmup: grows the workspaces and faults in the weights.
+  (void)ncsw::nn::run_forward(graph, weights, input, opts);
+  Cell cell;
+  cell.name = name;
+  const auto t0 = Clock::now();
+  while (cell.images < images) {
+    (void)ncsw::nn::run_forward(graph, weights, input, opts);
+    cell.images += input.shape().n;
+  }
+  cell.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  cell.img_per_s =
+      cell.seconds > 0 ? static_cast<double>(cell.images) / cell.seconds : 0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ncsw;
+  util::Cli cli("perf_forward",
+                "host engine wall-clock throughput (FP32/FP16, reference "
+                "vs optimised kernels, 1..N threads)");
+  cli.add_int("images", 200, "images per timed cell");
+  cli.add_int("batch", 1, "batch size per forward pass");
+  cli.add_int("threads", 0,
+              "thread count for the threaded cells (0 = auto: "
+              "$NCSW_THREADS, else hardware concurrency)");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
+
+  const std::int64_t images = cli.get_int("images");
+  const std::int64_t batch = std::max<std::int64_t>(cli.get_int("batch"), 1);
+  const int threads = nn::resolve_threads(static_cast<int>(cli.get_int("threads")));
+
+  // Small dataset config: only the class prototypes matter (they fit the
+  // classifier); the timed inputs are synthetic deterministic tensors.
+  dataset::DatasetConfig dc;
+  dc.images_per_subset = 32;
+  dataset::SyntheticImageNet data(dc);
+  const auto bundle = core::ModelBundle::tiny_functional(data);
+  const auto in_f32 = make_input<float>(bundle->graph, batch);
+  const auto in_f16 = make_input<fp16::half>(bundle->graph, batch);
+
+  nn::ExecOptions ref_opts;
+  ref_opts.reference_kernels = true;
+  nn::ExecOptions opt_t1;
+  opt_t1.threads = 1;
+  nn::ExecOptions opt_tn;
+  opt_tn.threads = threads;
+
+  std::vector<Cell> cells;
+  cells.push_back(time_cell<float>("fp32 ref t1", bundle->graph,
+                                   bundle->weights_f32, in_f32, ref_opts,
+                                   images));
+  cells.push_back(time_cell<float>("fp32 opt t1", bundle->graph,
+                                   bundle->weights_f32, in_f32, opt_t1,
+                                   images));
+  cells.push_back(time_cell<float>("fp32 opt tN", bundle->graph,
+                                   bundle->weights_f32, in_f32, opt_tn,
+                                   images));
+  cells.push_back(time_cell<fp16::half>("fp16 ref t1", bundle->graph,
+                                        bundle->weights_f16, in_f16, ref_opts,
+                                        images));
+  cells.push_back(time_cell<fp16::half>("fp16 opt t1", bundle->graph,
+                                        bundle->weights_f16, in_f16, opt_t1,
+                                        images));
+  cells.push_back(time_cell<fp16::half>("fp16 opt tN", bundle->graph,
+                                        bundle->weights_f16, in_f16, opt_tn,
+                                        images));
+
+  const double fp32_base = cells[0].img_per_s;
+  const double fp16_base = cells[3].img_per_s;
+
+  util::Table table("perf_forward: host forward pass, wall clock (batch " +
+                    std::to_string(batch) + ", N = " +
+                    std::to_string(threads) + " threads)");
+  table.set_header({"Cell", "img/s", "ms/img", "speedup vs ref t1"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const double base = i < 3 ? fp32_base : fp16_base;
+    table.add_row({c.name, util::Table::num(c.img_per_s, 1),
+                   util::Table::num(1000.0 / std::max(c.img_per_s, 1e-9), 3),
+                   util::Table::num(base > 0 ? c.img_per_s / base : 0, 2)});
+  }
+  bench::emit(table, cli);
+
+  // Profiled pass (per-layer wall milliseconds) on the optimised
+  // threaded configuration; with --trace this also emits "host" spans.
+  nn::ExecOptions prof = opt_tn;
+  prof.profile_layers = true;
+  const auto prof_f32 =
+      nn::run_forward(bundle->graph, bundle->weights_f32, in_f32, prof);
+  const auto prof_f16 =
+      nn::run_forward(bundle->graph, bundle->weights_f16, in_f16, prof);
+
+  bench::BenchReport report("perf_forward");
+  report.set_clock("wall");
+  report.config("images", images);
+  report.config("batch", batch);
+  report.config("threads", static_cast<std::int64_t>(threads));
+  report.config("hardware_concurrency",
+                static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  const char* keys[] = {"fp32.ref.t1.img_per_s", "fp32.opt.t1.img_per_s",
+                        "fp32.opt.tN.img_per_s", "fp16.ref.t1.img_per_s",
+                        "fp16.opt.t1.img_per_s", "fp16.opt.tN.img_per_s"};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    report.value(keys[i], cells[i].img_per_s);
+  }
+  report.value("fp32.speedup_opt_t1_x",
+               fp32_base > 0 ? cells[1].img_per_s / fp32_base : 0);
+  report.value("fp32.speedup_total_x",
+               fp32_base > 0 ? cells[2].img_per_s / fp32_base : 0);
+  report.value("fp16.speedup_opt_t1_x",
+               fp16_base > 0 ? cells[4].img_per_s / fp16_base : 0);
+  report.value("fp16.speedup_total_x",
+               fp16_base > 0 ? cells[5].img_per_s / fp16_base : 0);
+  for (int id = 1; id < bundle->graph.size(); ++id) {
+    const auto& name = bundle->graph.layer(id).name;
+    report.value("fp32.layer_ms." + name,
+                 prof_f32.layer_seconds[static_cast<std::size_t>(id)] * 1e3);
+    report.value("fp16.layer_ms." + name,
+                 prof_f16.layer_seconds[static_cast<std::size_t>(id)] * 1e3);
+  }
+  bench::write_report(report, cli);
+
+  std::cout << "\nfp16 total speedup (opt tN vs ref t1): "
+            << util::Table::num(
+                   fp16_base > 0 ? cells[5].img_per_s / fp16_base : 0, 2)
+            << "x\n";
+  bench::finalize(cli);
+  return 0;
+}

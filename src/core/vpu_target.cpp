@@ -456,9 +456,7 @@ std::vector<Prediction> VpuTarget::classify(
       const auto* halves = static_cast<const ncsw::fp16::half*>(out);
       const std::size_t n = out_len / sizeof(ncsw::fp16::half);
       std::vector<float> probs(n);
-      for (std::size_t k = 0; k < n; ++k) {
-        probs[k] = static_cast<float>(halves[k]);
-      }
+      ncsw::fp16::half_to_float_span(halves, probs.data(), n);
       results[i] = make_prediction(std::move(probs));
     }
   };

@@ -73,6 +73,69 @@ std::uint16_t float_to_half_bits(float value) noexcept {
   return static_cast<std::uint16_t>(sign);
 }
 
+const float* half_to_float_table() noexcept {
+  // Thread-safe one-time build (magic static); every entry is produced by
+  // the scalar decoder, so table lookups are bit-identical by construction.
+  static const auto* table = [] {
+    auto* t = new float[65536];
+    for (std::uint32_t b = 0; b < 65536; ++b) {
+      t[b] = half_bits_to_float(static_cast<std::uint16_t>(b));
+    }
+    return t;
+  }();
+  return table;
+}
+
+void half_to_float_span(const half* src, float* dst, std::size_t n) noexcept {
+  const float* table = half_to_float_table();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = table[src[i].bits()];
+}
+
+namespace {
+
+// Branch-reduced RTNE float -> half encode (the Giesen "fast3" scheme):
+// normals round via an integer add that carries into the exponent when
+// the mantissa overflows, subnormals round via a float add against a
+// magic constant (reusing the FPU's own round-to-nearest), NaNs collapse
+// to the same quiet NaN the scalar path produces. Verified bit-identical
+// to float_to_half_bits across ties, boundaries and specials in
+// tests/test_half.cpp.
+inline std::uint16_t encode_half_rtne(std::uint32_t f) noexcept {
+  constexpr std::uint32_t kF32Infty = 255u << 23;
+  constexpr std::uint32_t kF16MaxBound = (127u + 16u) << 23;  // 2^16
+  constexpr std::uint32_t kDenormMagic = ((127u - 15u) + (23u - 10u) + 1u)
+                                         << 23;
+  const std::uint32_t sign = f & 0x80000000u;
+  f ^= sign;
+  std::uint16_t o;
+  if (f >= kF16MaxBound) {  // overflow, inf or NaN
+    o = (f > kF32Infty) ? 0x7e00u : 0x7c00u;
+  } else if (f < (113u << 23)) {  // maps to a subnormal half (or zero)
+    float v;
+    std::memcpy(&v, &f, sizeof(v));
+    float magic;
+    std::memcpy(&magic, &kDenormMagic, sizeof(magic));
+    v += magic;  // the FPU rounds the dropped bits for us
+    std::uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    o = static_cast<std::uint16_t>(u - kDenormMagic);
+  } else {  // normal half range
+    const std::uint32_t mant_odd = (f >> 13) & 1u;
+    f += (static_cast<std::uint32_t>(15 - 127) << 23) + 0xfffu;
+    f += mant_odd;  // ties round to even
+    o = static_cast<std::uint16_t>(f >> 13);
+  }
+  return static_cast<std::uint16_t>(o | (sign >> 16));
+}
+
+}  // namespace
+
+void float_to_half_span(const float* src, half* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = half::from_bits(encode_half_rtne(float_bits(src[i])));
+  }
+}
+
 float half_bits_to_float(std::uint16_t bits) noexcept {
   const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
   const std::uint32_t exponent = (bits >> 10) & 0x1fu;

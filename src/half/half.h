@@ -21,6 +21,22 @@ std::uint16_t float_to_half_bits(float value) noexcept;
 /// Convert a binary16 bit pattern to the exactly-representable float.
 float half_bits_to_float(std::uint16_t bits) noexcept;
 
+class half;
+
+/// 65536-entry lookup table with table[bits] == half_bits_to_float(bits).
+/// Built once on first use (256 KiB); the fast path for strided or
+/// gather-style decodes where the span converters below do not fit.
+const float* half_to_float_table() noexcept;
+
+/// Bulk binary16 -> binary32 decode, bit-identical to calling
+/// half_bits_to_float per element (table-driven; src/dst may not overlap).
+void half_to_float_span(const half* src, float* dst, std::size_t n) noexcept;
+
+/// Bulk binary32 -> binary16 encode with round-to-nearest-even,
+/// bit-identical to calling float_to_half_bits per element (branch-reduced
+/// bit twiddling; src/dst may not overlap).
+void float_to_half_span(const float* src, half* dst, std::size_t n) noexcept;
+
 /// IEEE binary16 value type. Storage is the raw 16-bit pattern;
 /// arithmetic widens to float and rounds back, matching host-side
 /// conversion libraries (and the per-element rounding the VPU's VAU

@@ -1,7 +1,12 @@
 #include "nn/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
+
+#include "util/trace.h"
 
 namespace ncsw::nn {
 
@@ -20,6 +25,17 @@ std::vector<int> consumer_counts(const Graph& graph) {
 
 }  // namespace
 
+int resolve_threads(int requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("NCSW_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
 template <typename T>
 ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
                           const tensor::Tensor<T>& input,
@@ -34,6 +50,15 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
                                 expected.to_string());
   }
 
+  // One workspace per executing thread: the scratch arenas grow to the
+  // largest layer on first use and are reused by every later pass.
+  thread_local kernels::Workspace workspace;
+  kernels::ExecCtx ctx;
+  ctx.ws = &workspace;
+  ctx.reference = options.reference_kernels;
+  ctx.threads = options.reference_kernels ? 1 : resolve_threads(options.threads);
+  ctx.pool = ctx.threads > 1 ? &kernels::compute_pool() : nullptr;
+
   std::vector<tensor::Tensor<T>> acts(static_cast<std::size_t>(graph.size()));
   std::vector<int> remaining = consumer_counts(graph);
   acts[0] = input;
@@ -46,28 +71,38 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
     }
   };
 
+  ExecResult<T> result;
+  using Clock = std::chrono::steady_clock;
+  const bool profile = options.profile_layers;
+  Clock::time_point pass_start{};
+  if (profile) {
+    result.layer_seconds.assign(static_cast<std::size_t>(graph.size()), 0.0);
+    pass_start = Clock::now();
+  }
+
   for (int id = 1; id < graph.size(); ++id) {
     const Layer& l = graph.layer(id);
     const tensor::Tensor<T>& src = acts[static_cast<std::size_t>(l.inputs[0])];
     tensor::Tensor<T>& dst = acts[static_cast<std::size_t>(id)];
+    const Clock::time_point t0 = profile ? Clock::now() : Clock::time_point{};
     switch (l.kind) {
       case LayerKind::kInput:
         throw std::logic_error("run_forward: unexpected input layer");
       case LayerKind::kConv:
-        kernels::conv2d(src, weights.at(l.name), l.conv, dst);
+        kernels::conv2d(src, weights.at(l.name), l.conv, dst, ctx);
         break;
       case LayerKind::kReLU:
         dst = src;
-        kernels::relu(dst);
+        kernels::relu(dst, ctx);
         break;
       case LayerKind::kMaxPool:
-        kernels::max_pool(src, l.pool, dst);
+        kernels::max_pool(src, l.pool, dst, ctx);
         break;
       case LayerKind::kAvgPool:
-        kernels::avg_pool(src, l.pool, dst);
+        kernels::avg_pool(src, l.pool, dst, ctx);
         break;
       case LayerKind::kLRN:
-        kernels::lrn(src, l.lrn, dst);
+        kernels::lrn(src, l.lrn, dst, ctx);
         break;
       case LayerKind::kConcat: {
         std::vector<const tensor::Tensor<T>*> ins;
@@ -79,7 +114,7 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
         break;
       }
       case LayerKind::kFC:
-        kernels::fully_connected(src, weights.at(l.name), l.fc, dst);
+        kernels::fully_connected(src, weights.at(l.name), l.fc, dst, ctx);
         break;
       case LayerKind::kSoftmax:
         kernels::softmax(src, dst);
@@ -87,6 +122,21 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
       case LayerKind::kDropout:
         dst = src;  // inference-time dropout is the identity
         break;
+    }
+    if (profile) {
+      const Clock::time_point t1 = Clock::now();
+      const double dt = std::chrono::duration<double>(t1 - t0).count();
+      result.layer_seconds[static_cast<std::size_t>(id)] = dt;
+      // Wall-clock spans live in their own "host" category/lane so they
+      // never mix with the simulated-clock device timelines.
+      util::Tracer& tr = util::tracer();
+      if (tr.enabled()) {
+        const double s0 = std::chrono::duration<double>(t0 - pass_start).count();
+        tr.complete("host", l.name, tr.lane("host compute"), s0, s0 + dt,
+                    {util::TraceArg::str("kind", layer_kind_name(l.kind)),
+                     util::TraceArg::num("threads",
+                                         static_cast<std::int64_t>(ctx.threads))});
+      }
     }
     // Sanity: computed shape must match the inferred one.
     const Shape want = l.out_shape.with_batch(input.shape().n);
@@ -98,7 +148,6 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
     for (int in : l.inputs) release(in);
   }
 
-  ExecResult<T> result;
   result.output = std::move(acts[static_cast<std::size_t>(graph.output_id())]);
   if (options.keep_all_activations) {
     result.activations = std::move(acts);
@@ -122,8 +171,11 @@ std::vector<std::vector<float>> run_probabilities(
     auto& row = probs[static_cast<std::size_t>(b)];
     row.resize(static_cast<std::size_t>(dim));
     const T* src = out.batch_ptr(b);
-    for (std::int64_t i = 0; i < dim; ++i) {
-      row[static_cast<std::size_t>(i)] = static_cast<float>(src[i]);
+    if constexpr (std::is_same_v<T, float>) {
+      std::copy(src, src + dim, row.begin());
+    } else {
+      ncsw::fp16::half_to_float_span(src, row.data(),
+                                     static_cast<std::size_t>(dim));
     }
   }
   return probs;

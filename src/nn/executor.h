@@ -2,6 +2,10 @@
 // tensor in either precision, producing the output activation and
 // (optionally) retaining all intermediate activations for inspection —
 // which is how the tests diff FP32 against FP16 layer by layer.
+//
+// The kernels behind it are threaded but deterministic: outputs are
+// bit-identical for any `threads` value (docs/performance.md), so the
+// knob is purely a wall-clock choice.
 #pragma once
 
 #include <vector>
@@ -18,7 +22,23 @@ struct ExecOptions {
   /// Keep every layer's activation (memory-heavy; default keeps only what
   /// downstream layers still need).
   bool keep_all_activations = false;
+  /// Slab fan-out for the threaded kernels: 0 resolves via
+  /// resolve_threads() ($NCSW_THREADS, else hardware concurrency);
+  /// 1 runs serial; n > 1 splits each kernel into n chunks.
+  int threads = 0;
+  /// Route every layer through the pre-PR scalar kernels — the recorded
+  /// perf baseline (forces serial execution).
+  bool reference_kernels = false;
+  /// Record wall-clock seconds per layer in ExecResult::layer_seconds
+  /// and, when the global tracer is enabled, emit one "host" span per
+  /// layer. Off by default so simulated-clock traces stay clean.
+  bool profile_layers = false;
 };
+
+/// Thread count an ExecOptions::threads value resolves to: the value
+/// itself when positive, else $NCSW_THREADS when set to a positive
+/// integer, else std::thread::hardware_concurrency() (minimum 1).
+int resolve_threads(int requested) noexcept;
 
 /// Result of a forward pass.
 template <typename T>
@@ -27,6 +47,8 @@ struct ExecResult {
   tensor::Tensor<T> output;
   /// When keep_all_activations: one activation per layer id (else empty).
   std::vector<tensor::Tensor<T>> activations;
+  /// When profile_layers: wall-clock seconds per layer id (else empty).
+  std::vector<double> layer_seconds;
 };
 
 /// Run `graph` forward on `input` (shape must match the graph's input

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <future>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "tensor/gemm.h"
 
@@ -13,15 +16,67 @@ namespace {
 
 using ncsw::fp16::half;
 
-// GEMM dispatch over precision.
+// ---------------------------------------------------------------------------
+// Slab fan-out. Work is split into a fixed number of contiguous chunks;
+// every chunk writes a disjoint output region with the same per-element
+// arithmetic as the serial path, so results are bit-identical regardless
+// of the chunk count or which pool worker runs which chunk.
+
+int plan_chunks(const ExecCtx& ctx, std::int64_t total) {
+  if (!ctx.pool || ctx.threads <= 1 || total <= 1) return 1;
+  return static_cast<int>(
+      std::min<std::int64_t>(ctx.threads, total));
+}
+
+template <typename Fn>
+void run_chunks(util::ThreadPool* pool, int chunks, std::int64_t total,
+                const Fn& fn) {
+  if (total <= 0) return;
+  if (chunks <= 1) {
+    fn(0, 0, total);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(static_cast<std::size_t>(chunks));
+  for (int t = 0; t < chunks; ++t) {
+    const std::int64_t begin = total * t / chunks;
+    const std::int64_t end = total * (t + 1) / chunks;
+    futs.push_back(pool->submit([&fn, t, begin, end] { fn(t, begin, end); }));
+  }
+  // Wait for every chunk before surfacing the first failure, so no task
+  // can outlive the captured locals.
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+template <typename Fn>
+void parallel_chunks(const ExecCtx& ctx, std::int64_t total, const Fn& fn) {
+  run_chunks(ctx.pool, plan_chunks(ctx, total), total, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR reference kernels, kept verbatim (serial, per-layer allocation,
+// per-MAC half<->float conversion). ExecCtx::reference routes here; the
+// golden tests assert the optimised kernels below match them byte for
+// byte, and bench/perf_forward records speedup against them.
+
+namespace ref {
+
 inline void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                  const float* a, const float* b, float beta,
                  float* c) noexcept {
-  tensor::gemm_f32(m, n, k, alpha, a, b, beta, c);
+  tensor::gemm_f32_ref(m, n, k, alpha, a, b, beta, c);
 }
 inline void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                  const half* a, const half* b, float beta, half* c) noexcept {
-  tensor::gemm_f16(m, n, k, alpha, a, b, beta, c);
+  tensor::gemm_f16_ref(m, n, k, alpha, a, b, beta, c);
 }
 
 // im2col: expand the input patch matrix so convolution becomes a GEMM.
@@ -52,23 +107,13 @@ void im2col(const T* in, std::int64_t channels, std::int64_t height,
   }
 }
 
-}  // namespace
-
 template <typename T>
 void conv2d(const Tensor<T>& in, const LayerParams<T>& params,
             const ConvParams& p, Tensor<T>& out) {
-  const Shape& is = in.shape();
+  const tensor::Shape& is = in.shape();
   const std::int64_t oh = conv_extent(is.h, p.kernel, p.stride, p.pad);
   const std::int64_t ow = conv_extent(is.w, p.kernel, p.stride, p.pad);
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("conv2d: kernel does not fit");
-  }
-  if (params.w.shape() !=
-      Shape{p.out_channels, is.c, p.kernel, p.kernel}) {
-    throw std::invalid_argument("conv2d: weight shape mismatch: " +
-                                params.w.shape().to_string());
-  }
-  out.resize(Shape{is.n, p.out_channels, oh, ow});
+  out.resize(tensor::Shape{is.n, p.out_channels, oh, ow});
 
   const std::int64_t k_dim = is.c * p.kernel * p.kernel;
   const std::int64_t n_dim = oh * ow;
@@ -98,100 +143,8 @@ void relu(Tensor<T>& x) {
 }
 
 template <typename T>
-void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out) {
-  const Shape& is = in.shape();
-  const int kernel = p.global ? static_cast<int>(std::max(is.h, is.w)) : p.kernel;
-  const int stride = p.global ? 1 : p.stride;
-  const int pad = p.global ? 0 : p.pad;
-  const std::int64_t oh =
-      p.global ? 1 : pooled_extent(is.h, kernel, stride, pad, p.ceil_mode);
-  const std::int64_t ow =
-      p.global ? 1 : pooled_extent(is.w, kernel, stride, pad, p.ceil_mode);
-  out.resize(Shape{is.n, is.c, oh, ow});
-
-  for (std::int64_t b = 0; b < is.n; ++b) {
-    for (std::int64_t c = 0; c < is.c; ++c) {
-      const T* src = in.data() + (b * is.c + c) * is.hw();
-      T* dst = out.data() + (b * is.c + c) * oh * ow;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          const std::int64_t y0 = std::max<std::int64_t>(oy * stride - pad, 0);
-          const std::int64_t x0 = std::max<std::int64_t>(ox * stride - pad, 0);
-          const std::int64_t y1 =
-              std::min<std::int64_t>(oy * stride - pad + kernel, is.h);
-          const std::int64_t x1 =
-              std::min<std::int64_t>(ox * stride - pad + kernel, is.w);
-          float best = -std::numeric_limits<float>::infinity();
-          for (std::int64_t y = y0; y < y1; ++y) {
-            for (std::int64_t x = x0; x < x1; ++x) {
-              best = std::max(best, static_cast<float>(src[y * is.w + x]));
-            }
-          }
-          dst[oy * ow + ox] = tensor::scalar_cast<T>(best);
-        }
-      }
-    }
-  }
-}
-
-template <typename T>
-void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out) {
-  const Shape& is = in.shape();
-  const bool global = p.global;
-  const int kernel = global ? 0 : p.kernel;
-  const int stride = global ? 1 : p.stride;
-  const int pad = global ? 0 : p.pad;
-  const std::int64_t oh =
-      global ? 1 : pooled_extent(is.h, kernel, stride, pad, p.ceil_mode);
-  const std::int64_t ow =
-      global ? 1 : pooled_extent(is.w, kernel, stride, pad, p.ceil_mode);
-  out.resize(Shape{is.n, is.c, oh, ow});
-
-  for (std::int64_t b = 0; b < is.n; ++b) {
-    for (std::int64_t c = 0; c < is.c; ++c) {
-      const T* src = in.data() + (b * is.c + c) * is.hw();
-      T* dst = out.data() + (b * is.c + c) * oh * ow;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          std::int64_t y0, x0, y1, x1;
-          double divisor;
-          if (global) {
-            y0 = 0;
-            x0 = 0;
-            y1 = is.h;
-            x1 = is.w;
-            divisor = static_cast<double>(is.hw());
-          } else {
-            y0 = std::max<std::int64_t>(oy * stride - pad, 0);
-            x0 = std::max<std::int64_t>(ox * stride - pad, 0);
-            y1 = std::min<std::int64_t>(oy * stride - pad + kernel, is.h);
-            x1 = std::min<std::int64_t>(ox * stride - pad + kernel, is.w);
-            // Caffe AVE pooling divides by the padded window size.
-            const std::int64_t py1 =
-                std::min<std::int64_t>(oy * stride - pad + kernel, is.h + pad);
-            const std::int64_t px1 =
-                std::min<std::int64_t>(ox * stride - pad + kernel, is.w + pad);
-            const std::int64_t py0 = oy * stride - pad;
-            const std::int64_t px0 = ox * stride - pad;
-            divisor = static_cast<double>((py1 - py0) * (px1 - px0));
-          }
-          double sum = 0.0;
-          for (std::int64_t y = y0; y < y1; ++y) {
-            for (std::int64_t x = x0; x < x1; ++x) {
-              sum += static_cast<float>(src[y * is.w + x]);
-            }
-          }
-          dst[oy * ow + ox] =
-              tensor::scalar_cast<T>(static_cast<float>(sum / divisor));
-        }
-      }
-    }
-  }
-}
-
-template <typename T>
 void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out) {
-  const Shape& is = in.shape();
+  const tensor::Shape& is = in.shape();
   out.resize(is);
   const int half_win = p.local_size / 2;
   const float alpha_over_n = p.alpha / static_cast<float>(p.local_size);
@@ -200,7 +153,8 @@ void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out) {
       for (std::int64_t x = 0; x < is.w; ++x) {
         for (std::int64_t c = 0; c < is.c; ++c) {
           const std::int64_t c0 = std::max<std::int64_t>(c - half_win, 0);
-          const std::int64_t c1 = std::min<std::int64_t>(c + half_win, is.c - 1);
+          const std::int64_t c1 =
+              std::min<std::int64_t>(c + half_win, is.c - 1);
           float sumsq = 0.0f;
           for (std::int64_t cc = c0; cc <= c1; ++cc) {
             const float v = static_cast<float>(in.at(b, cc, y, x));
@@ -217,42 +171,11 @@ void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out) {
 }
 
 template <typename T>
-void concat(const std::vector<const Tensor<T>*>& ins, Tensor<T>& out) {
-  if (ins.empty()) throw std::invalid_argument("concat: no inputs");
-  const Shape& first = ins[0]->shape();
-  std::int64_t channels = 0;
-  for (const auto* t : ins) {
-    const Shape& s = t->shape();
-    if (s.n != first.n || s.h != first.h || s.w != first.w) {
-      throw std::invalid_argument("concat: shape mismatch");
-    }
-    channels += s.c;
-  }
-  out.resize(Shape{first.n, channels, first.h, first.w});
-  for (std::int64_t b = 0; b < first.n; ++b) {
-    std::int64_t c_off = 0;
-    for (const auto* t : ins) {
-      const Shape& s = t->shape();
-      const T* src = t->batch_ptr(b);
-      T* dst = out.batch_ptr(b) + c_off * first.hw();
-      std::copy(src, src + s.chw(), dst);
-      c_off += s.c;
-    }
-  }
-}
-
-template <typename T>
 void fully_connected(const Tensor<T>& in, const LayerParams<T>& params,
                      const FCParams& p, Tensor<T>& out) {
-  const Shape& is = in.shape();
+  const tensor::Shape& is = in.shape();
   const std::int64_t in_dim = is.chw();
-  if (params.w.shape() != Shape{p.out_features, in_dim, 1, 1}) {
-    throw std::invalid_argument("fully_connected: weight shape mismatch: " +
-                                params.w.shape().to_string());
-  }
-  out.resize(Shape{is.n, p.out_features, 1, 1});
-  // out[b] = W[outF x in_dim] * in[b]; batched as GEMM with n = 1 columns
-  // per batch item (kept simple; batch sizes here are <= 16).
+  out.resize(tensor::Shape{is.n, p.out_features, 1, 1});
   for (std::int64_t b = 0; b < is.n; ++b) {
     gemm(p.out_features, 1, in_dim, 1.0f, params.w.data(), in.batch_ptr(b),
          0.0f, out.batch_ptr(b));
@@ -263,9 +186,443 @@ void fully_connected(const Tensor<T>& in, const LayerParams<T>& params,
   }
 }
 
+}  // namespace ref
+
+// ---------------------------------------------------------------------------
+// Optimised kernels.
+
+// im2col over channels [c0, c1) from an FP32 source plane; the column
+// matrix layout matches ref::im2col exactly.
+void im2col_rows(const float* in, std::int64_t c0, std::int64_t c1,
+                 std::int64_t height, std::int64_t width, int kernel,
+                 int stride, int pad, std::int64_t out_h, std::int64_t out_w,
+                 float* col) noexcept {
+  for (std::int64_t c = c0; c < c1; ++c) {
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        float* dst = col + ((c * kernel + ky) * kernel + kx) * out_h * out_w;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) {
+            std::fill(dst + oy * out_w, dst + (oy + 1) * out_w, 0.0f);
+            continue;
+          }
+          const float* src_row = in + (c * height + iy) * width;
+          // The interior run [x_lo, x_hi) needs no bounds checks.
+          const std::int64_t x_lo = std::max<std::int64_t>(
+              0, (pad - kx + stride - 1) / stride);
+          const std::int64_t x_hi = std::min<std::int64_t>(
+              out_w, (width - 1 - kx + pad) / stride + 1);
+          float* drow = dst + oy * out_w;
+          for (std::int64_t ox = 0; ox < std::min(x_lo, out_w); ++ox) {
+            drow[ox] = 0.0f;
+          }
+          for (std::int64_t ox = x_lo; ox < x_hi; ++ox) {
+            drow[ox] = src_row[ox * stride - pad + kx];
+          }
+          for (std::int64_t ox = std::max(x_hi, x_lo); ox < out_w; ++ox) {
+            drow[ox] = 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The batch item as FP32: the tensor's own storage for float, a
+// workspace expansion (exact) for half.
+template <typename T>
+const float* batch_as_f32(const Tensor<T>& in, std::int64_t b, Workspace& ws,
+                          const ExecCtx& ctx) {
+  if constexpr (std::is_same_v<T, float>) {
+    (void)ws;
+    (void)ctx;
+    return in.batch_ptr(b);
+  } else {
+    const std::int64_t chw = in.shape().chw();
+    float* buf = ws.acts(chw);
+    const half* src = in.batch_ptr(b);
+    parallel_chunks(ctx, chw, [&](int, std::int64_t e0, std::int64_t e1) {
+      ncsw::fp16::half_to_float_span(src + e0, buf + e0,
+                                     static_cast<std::size_t>(e1 - e0));
+    });
+    return buf;
+  }
+}
+
+}  // namespace
+
+util::ThreadPool& compute_pool() {
+  static util::ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+template <typename T>
+void conv2d(const Tensor<T>& in, const LayerParams<T>& params,
+            const ConvParams& p, Tensor<T>& out, const ExecCtx& ctx) {
+  const tensor::Shape& is = in.shape();
+  const std::int64_t oh = conv_extent(is.h, p.kernel, p.stride, p.pad);
+  const std::int64_t ow = conv_extent(is.w, p.kernel, p.stride, p.pad);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv2d: kernel does not fit");
+  }
+  if (params.w.shape() !=
+      tensor::Shape{p.out_channels, is.c, p.kernel, p.kernel}) {
+    throw std::invalid_argument("conv2d: weight shape mismatch: " +
+                                params.w.shape().to_string());
+  }
+  if (ctx.reference) {
+    ref::conv2d(in, params, p, out);
+    return;
+  }
+  out.resize(tensor::Shape{is.n, p.out_channels, oh, ow});
+
+  const std::int64_t k_dim = is.c * p.kernel * p.kernel;
+  const std::int64_t n_dim = oh * ow;
+  Workspace local;
+  Workspace& ws = ctx.ws ? *ctx.ws : local;
+  float* col = ws.col(k_dim * n_dim);
+
+  // Weights as FP32 (expanded once per call for FP16 — exact).
+  const float* wf;
+  if constexpr (std::is_same_v<T, float>) {
+    wf = params.w.data();
+  } else {
+    auto& wpanel = ws.gemm().a;
+    const auto wcount = static_cast<std::size_t>(p.out_channels * k_dim);
+    if (wpanel.size() < wcount) wpanel.resize(wcount);
+    ncsw::fp16::half_to_float_span(params.w.data(), wpanel.data(), wcount);
+    wf = wpanel.data();
+  }
+
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    const float* src = batch_as_f32(in, b, ws, ctx);
+    parallel_chunks(ctx, is.c, [&](int, std::int64_t c0, std::int64_t c1) {
+      im2col_rows(src, c0, c1, is.h, is.w, p.kernel, p.stride, p.pad, oh, ow,
+                  col);
+    });
+
+    // out[b] = W[outC x k_dim] * col[k_dim x n_dim], split by column
+    // range: each chunk owns a disjoint panel of col and of the output.
+    float* cf;
+    if constexpr (std::is_same_v<T, float>) {
+      cf = out.batch_ptr(b);
+    } else {
+      cf = ws.out(p.out_channels * n_dim);
+    }
+    parallel_chunks(ctx, n_dim, [&](int, std::int64_t j0, std::int64_t j1) {
+      tensor::gemm_f32(p.out_channels, j1 - j0, k_dim, 1.0f, wf, k_dim,
+                       col + j0, n_dim, 0.0f, cf + j0, n_dim);
+    });
+
+    // Bias add. FP16 keeps the pre-PR order: round the accumulator to
+    // half first, then add the half bias with per-element rounding.
+    parallel_chunks(
+        ctx, p.out_channels, [&](int, std::int64_t oc0, std::int64_t oc1) {
+          if constexpr (std::is_same_v<T, float>) {
+            for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+              const float bias = params.b[oc];
+              float* dst = out.batch_ptr(b) + oc * n_dim;
+              for (std::int64_t i = 0; i < n_dim; ++i) dst[i] += bias;
+            }
+          } else {
+            const float* table = ncsw::fp16::half_to_float_table();
+            for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+              const float bias = table[params.b[oc].bits()];
+              float* row = cf + oc * n_dim;
+              half* dst = out.batch_ptr(b) + oc * n_dim;
+              ncsw::fp16::float_to_half_span(
+                  row, dst, static_cast<std::size_t>(n_dim));
+              for (std::int64_t i = 0; i < n_dim; ++i) {
+                row[i] = table[dst[i].bits()] + bias;
+              }
+              ncsw::fp16::float_to_half_span(
+                  row, dst, static_cast<std::size_t>(n_dim));
+            }
+          }
+        });
+  }
+}
+
+template <typename T>
+void relu(Tensor<T>& x, const ExecCtx& ctx) {
+  if (ctx.reference) {
+    ref::relu(x);
+    return;
+  }
+  const std::int64_t n = x.numel();
+  if constexpr (std::is_same_v<T, float>) {
+    float* data = x.data();
+    parallel_chunks(ctx, n, [&](int, std::int64_t e0, std::int64_t e1) {
+      for (std::int64_t i = e0; i < e1; ++i) {
+        if (data[i] < 0.0f) data[i] = 0.0f;
+      }
+    });
+  } else {
+    half* data = x.data();
+    const float* table = ncsw::fp16::half_to_float_table();
+    parallel_chunks(ctx, n, [&](int, std::int64_t e0, std::int64_t e1) {
+      for (std::int64_t i = e0; i < e1; ++i) {
+        if (table[data[i].bits()] < 0.0f) data[i] = half{};
+      }
+    });
+  }
+}
+
+template <typename T>
+void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
+              const ExecCtx& ctx) {
+  const tensor::Shape& is = in.shape();
+  const int kernel =
+      p.global ? static_cast<int>(std::max(is.h, is.w)) : p.kernel;
+  const int stride = p.global ? 1 : p.stride;
+  const int pad = p.global ? 0 : p.pad;
+  const std::int64_t oh =
+      p.global ? 1 : pooled_extent(is.h, kernel, stride, pad, p.ceil_mode);
+  const std::int64_t ow =
+      p.global ? 1 : pooled_extent(is.w, kernel, stride, pad, p.ceil_mode);
+  out.resize(tensor::Shape{is.n, is.c, oh, ow});
+
+  Workspace local;
+  Workspace& ws = ctx.ws ? *ctx.ws : local;
+  const std::int64_t planes = is.n * is.c;
+  const int chunks = plan_chunks(ctx, planes);
+  float* scratch = std::is_same_v<T, float>
+                       ? nullptr
+                       : ws.slabs(chunks, is.hw());
+  run_chunks(ctx.pool, chunks, planes,
+             [&](int t, std::int64_t s0, std::int64_t s1) {
+               for (std::int64_t s = s0; s < s1; ++s) {
+                 const T* src = in.data() + s * is.hw();
+                 T* dst = out.data() + s * oh * ow;
+                 const float* sf;
+                 if constexpr (std::is_same_v<T, float>) {
+                   sf = src;
+                 } else {
+                   float* buf = scratch + t * is.hw();
+                   ncsw::fp16::half_to_float_span(
+                       src, buf, static_cast<std::size_t>(is.hw()));
+                   sf = buf;
+                 }
+                 for (std::int64_t oy = 0; oy < oh; ++oy) {
+                   for (std::int64_t ox = 0; ox < ow; ++ox) {
+                     const std::int64_t y0 =
+                         std::max<std::int64_t>(oy * stride - pad, 0);
+                     const std::int64_t x0 =
+                         std::max<std::int64_t>(ox * stride - pad, 0);
+                     const std::int64_t y1 = std::min<std::int64_t>(
+                         oy * stride - pad + kernel, is.h);
+                     const std::int64_t x1 = std::min<std::int64_t>(
+                         ox * stride - pad + kernel, is.w);
+                     float best = -std::numeric_limits<float>::infinity();
+                     for (std::int64_t y = y0; y < y1; ++y) {
+                       for (std::int64_t x = x0; x < x1; ++x) {
+                         best = std::max(best, sf[y * is.w + x]);
+                       }
+                     }
+                     dst[oy * ow + ox] = tensor::scalar_cast<T>(best);
+                   }
+                 }
+               }
+             });
+}
+
+template <typename T>
+void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
+              const ExecCtx& ctx) {
+  const tensor::Shape& is = in.shape();
+  const bool global = p.global;
+  const int kernel = global ? 0 : p.kernel;
+  const int stride = global ? 1 : p.stride;
+  const int pad = global ? 0 : p.pad;
+  const std::int64_t oh =
+      global ? 1 : pooled_extent(is.h, kernel, stride, pad, p.ceil_mode);
+  const std::int64_t ow =
+      global ? 1 : pooled_extent(is.w, kernel, stride, pad, p.ceil_mode);
+  out.resize(tensor::Shape{is.n, is.c, oh, ow});
+
+  Workspace local;
+  Workspace& ws = ctx.ws ? *ctx.ws : local;
+  const std::int64_t planes = is.n * is.c;
+  const int chunks = plan_chunks(ctx, planes);
+  float* scratch = std::is_same_v<T, float>
+                       ? nullptr
+                       : ws.slabs(chunks, is.hw());
+  run_chunks(
+      ctx.pool, chunks, planes, [&](int t, std::int64_t s0, std::int64_t s1) {
+        for (std::int64_t s = s0; s < s1; ++s) {
+          const T* src = in.data() + s * is.hw();
+          T* dst = out.data() + s * oh * ow;
+          const float* sf;
+          if constexpr (std::is_same_v<T, float>) {
+            sf = src;
+          } else {
+            float* buf = scratch + t * is.hw();
+            ncsw::fp16::half_to_float_span(
+                src, buf, static_cast<std::size_t>(is.hw()));
+            sf = buf;
+          }
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              std::int64_t y0, x0, y1, x1;
+              double divisor;
+              if (global) {
+                y0 = 0;
+                x0 = 0;
+                y1 = is.h;
+                x1 = is.w;
+                divisor = static_cast<double>(is.hw());
+              } else {
+                y0 = std::max<std::int64_t>(oy * stride - pad, 0);
+                x0 = std::max<std::int64_t>(ox * stride - pad, 0);
+                y1 = std::min<std::int64_t>(oy * stride - pad + kernel, is.h);
+                x1 = std::min<std::int64_t>(ox * stride - pad + kernel, is.w);
+                // Caffe AVE pooling divides by the padded window size.
+                const std::int64_t py1 = std::min<std::int64_t>(
+                    oy * stride - pad + kernel, is.h + pad);
+                const std::int64_t px1 = std::min<std::int64_t>(
+                    ox * stride - pad + kernel, is.w + pad);
+                const std::int64_t py0 = oy * stride - pad;
+                const std::int64_t px0 = ox * stride - pad;
+                divisor = static_cast<double>((py1 - py0) * (px1 - px0));
+              }
+              double sum = 0.0;
+              for (std::int64_t y = y0; y < y1; ++y) {
+                for (std::int64_t x = x0; x < x1; ++x) {
+                  sum += sf[y * is.w + x];
+                }
+              }
+              dst[oy * ow + ox] =
+                  tensor::scalar_cast<T>(static_cast<float>(sum / divisor));
+            }
+          }
+        }
+      });
+}
+
+template <typename T>
+void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out,
+         const ExecCtx& ctx) {
+  if (ctx.reference) {
+    ref::lrn(in, p, out);
+    return;
+  }
+  const tensor::Shape& is = in.shape();
+  out.resize(is);
+  const int half_win = p.local_size / 2;
+  const float alpha_over_n = p.alpha / static_cast<float>(p.local_size);
+  const std::int64_t hw = is.hw();
+
+  Workspace local;
+  Workspace& ws = ctx.ws ? *ctx.ws : local;
+  const int chunks = plan_chunks(ctx, is.c);
+  // Per-task scratch: a sum-of-squares plane plus (FP16 only) an FP32
+  // result plane rounded in one span per channel.
+  const std::int64_t per_task = std::is_same_v<T, float> ? hw : 2 * hw;
+  float* scratch = ws.slabs(chunks, per_task);
+
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    // The whole batch item as FP32 planes: channel runs are contiguous,
+    // so the window sum slides over dense rows instead of strided at().
+    const float* inf = batch_as_f32(in, b, ws, ctx);
+    run_chunks(
+        ctx.pool, chunks, is.c, [&](int t, std::int64_t c0, std::int64_t c1) {
+          float* sumsq = scratch + t * per_task;
+          for (std::int64_t c = c0; c < c1; ++c) {
+            const std::int64_t w0 = std::max<std::int64_t>(c - half_win, 0);
+            const std::int64_t w1 =
+                std::min<std::int64_t>(c + half_win, is.c - 1);
+            std::fill(sumsq, sumsq + hw, 0.0f);
+            // Ascending-channel accumulation: the same term order as the
+            // reference's per-element window loop.
+            for (std::int64_t cc = w0; cc <= w1; ++cc) {
+              const float* v = inf + cc * hw;
+              for (std::int64_t i = 0; i < hw; ++i) sumsq[i] += v[i] * v[i];
+            }
+            const float* vc = inf + c * hw;
+            if constexpr (std::is_same_v<T, float>) {
+              float* dst = out.data() + (b * is.c + c) * hw;
+              for (std::int64_t i = 0; i < hw; ++i) {
+                const float scale = p.k + alpha_over_n * sumsq[i];
+                dst[i] = vc[i] / std::pow(scale, p.beta);
+              }
+            } else {
+              float* res = sumsq + hw;
+              for (std::int64_t i = 0; i < hw; ++i) {
+                const float scale = p.k + alpha_over_n * sumsq[i];
+                res[i] = vc[i] / std::pow(scale, p.beta);
+              }
+              ncsw::fp16::float_to_half_span(
+                  res, out.data() + (b * is.c + c) * hw,
+                  static_cast<std::size_t>(hw));
+            }
+          }
+        });
+  }
+}
+
+template <typename T>
+void concat(const std::vector<const Tensor<T>*>& ins, Tensor<T>& out) {
+  if (ins.empty()) throw std::invalid_argument("concat: no inputs");
+  const tensor::Shape& first = ins[0]->shape();
+  std::int64_t channels = 0;
+  for (const auto* t : ins) {
+    const tensor::Shape& s = t->shape();
+    if (s.n != first.n || s.h != first.h || s.w != first.w) {
+      throw std::invalid_argument("concat: shape mismatch");
+    }
+    channels += s.c;
+  }
+  out.resize(tensor::Shape{first.n, channels, first.h, first.w});
+  for (std::int64_t b = 0; b < first.n; ++b) {
+    std::int64_t c_off = 0;
+    for (const auto* t : ins) {
+      const tensor::Shape& s = t->shape();
+      const T* src = t->batch_ptr(b);
+      T* dst = out.batch_ptr(b) + c_off * first.hw();
+      std::copy(src, src + s.chw(), dst);
+      c_off += s.c;
+    }
+  }
+}
+
+template <typename T>
+void fully_connected(const Tensor<T>& in, const LayerParams<T>& params,
+                     const FCParams& p, Tensor<T>& out, const ExecCtx& ctx) {
+  const tensor::Shape& is = in.shape();
+  const std::int64_t in_dim = is.chw();
+  if (params.w.shape() != tensor::Shape{p.out_features, in_dim, 1, 1}) {
+    throw std::invalid_argument("fully_connected: weight shape mismatch: " +
+                                params.w.shape().to_string());
+  }
+  if (ctx.reference) {
+    ref::fully_connected(in, params, p, out);
+    return;
+  }
+  out.resize(tensor::Shape{is.n, p.out_features, 1, 1});
+  Workspace local;
+  Workspace& ws = ctx.ws ? *ctx.ws : local;
+  // out[b] = W[outF x in_dim] * in[b]: a GEMV per batch item,
+  // bit-identical to the degenerate n = 1 GEMM it replaced.
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    if constexpr (std::is_same_v<T, float>) {
+      tensor::gemv_f32(p.out_features, in_dim, params.w.data(),
+                       in.batch_ptr(b), 0.0f, out.batch_ptr(b));
+    } else {
+      tensor::gemv_f16(p.out_features, in_dim, params.w.data(),
+                       in.batch_ptr(b), 0.0f, out.batch_ptr(b), &ws.gemm());
+    }
+    T* dst = out.batch_ptr(b);
+    for (std::int64_t f = 0; f < p.out_features; ++f) {
+      dst[f] += params.b[f];
+    }
+  }
+}
+
 template <typename T>
 void softmax(const Tensor<T>& in, Tensor<T>& out) {
-  const Shape& is = in.shape();
+  const tensor::Shape& is = in.shape();
   out.resize(is);
   const std::int64_t dim = is.chw();
   for (std::int64_t b = 0; b < is.n; ++b) {
@@ -292,14 +649,18 @@ void softmax(const Tensor<T>& in, Tensor<T>& out) {
 // Explicit instantiations for the two supported precisions.
 #define NCSW_INSTANTIATE_KERNELS(T)                                          \
   template void conv2d<T>(const Tensor<T>&, const LayerParams<T>&,           \
-                          const ConvParams&, Tensor<T>&);                    \
-  template void relu<T>(Tensor<T>&);                                         \
-  template void max_pool<T>(const Tensor<T>&, const PoolParams&, Tensor<T>&);\
-  template void avg_pool<T>(const Tensor<T>&, const PoolParams&, Tensor<T>&);\
-  template void lrn<T>(const Tensor<T>&, const LRNParams&, Tensor<T>&);      \
+                          const ConvParams&, Tensor<T>&, const ExecCtx&);    \
+  template void relu<T>(Tensor<T>&, const ExecCtx&);                         \
+  template void max_pool<T>(const Tensor<T>&, const PoolParams&, Tensor<T>&, \
+                            const ExecCtx&);                                 \
+  template void avg_pool<T>(const Tensor<T>&, const PoolParams&, Tensor<T>&, \
+                            const ExecCtx&);                                 \
+  template void lrn<T>(const Tensor<T>&, const LRNParams&, Tensor<T>&,       \
+                       const ExecCtx&);                                      \
   template void concat<T>(const std::vector<const Tensor<T>*>&, Tensor<T>&); \
   template void fully_connected<T>(const Tensor<T>&, const LayerParams<T>&,  \
-                                   const FCParams&, Tensor<T>&);             \
+                                   const FCParams&, Tensor<T>&,              \
+                                   const ExecCtx&);                          \
   template void softmax<T>(const Tensor<T>&, Tensor<T>&);
 
 NCSW_INSTANTIATE_KERNELS(float)

@@ -1,51 +1,132 @@
-// Reference layer kernels, templated over precision. The FP32
-// instantiation is the "Caffe-MKL" functional path; the FP16 instantiation
-// is the Myriad-2 path (FP16 storage, FP32 accumulation where a hardware
-// MAC pipeline would keep a wide accumulator, per-element rounding on
-// write-back).
+// Layer kernels, templated over precision. The FP32 instantiation is the
+// "Caffe-MKL" functional path; the FP16 instantiation is the Myriad-2
+// path (FP16 storage, FP32 accumulation where a hardware MAC pipeline
+// would keep a wide accumulator, per-element rounding on write-back).
+//
+// The kernels are cache-tuned and optionally threaded (docs/
+// performance.md): convolution splits its GEMM by output column range,
+// the pools / LRN / ReLU split by (batch, channel) slabs, and every
+// split writes a disjoint output region with the same per-element
+// arithmetic as the serial path — so results are bit-identical across
+// thread counts, and identical to the pre-PR scalar kernels (kept
+// reachable through ExecCtx::reference for A/B benching and the golden
+// tests).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "nn/graph.h"
 #include "nn/weights.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace ncsw::nn::kernels {
 
 using tensor::Tensor;
 
+/// Reusable scratch arenas for the kernel hot loop. Buffers grow to the
+/// high-water mark of the layers they serve and are never shrunk, so a
+/// forward pass allocates at most once per arena instead of once per
+/// layer. Not thread-safe: one Workspace per concurrent forward pass
+/// (slabs() hands disjoint slices to the pool workers of a single call).
+class Workspace {
+ public:
+  /// FP32 im2col panel of `count` elements.
+  float* col(std::int64_t count) { return grow(col_, count); }
+
+  /// FP32 expansion of an FP16 activation tensor (conv/LRN inputs).
+  float* acts(std::int64_t count) { return grow(acts_, count); }
+
+  /// FP32 accumulator image of an FP16 output before rounding.
+  float* out(std::int64_t count) { return grow(out_, count); }
+
+  /// Base of `count` disjoint per-task slices of `per_task` floats each;
+  /// task t uses [base + t*per_task, base + (t+1)*per_task). Call before
+  /// fanning out.
+  float* slabs(int count, std::int64_t per_task) {
+    return grow(slabs_, static_cast<std::int64_t>(count) * per_task);
+  }
+
+  /// FP32 expansion panels for the FP16 GEMM/GEMV.
+  tensor::GemmScratch& gemm() noexcept { return gemm_; }
+
+  /// Bytes reserved across all arenas (monotonically non-decreasing).
+  std::size_t capacity_bytes() const noexcept {
+    return (col_.capacity() + acts_.capacity() + out_.capacity() +
+            slabs_.capacity()) *
+               sizeof(float) +
+           gemm_.capacity_bytes();
+  }
+
+ private:
+  static float* grow(std::vector<float>& v, std::int64_t count) {
+    const auto need = static_cast<std::size_t>(count);
+    if (v.size() < need) v.resize(need);
+    return v.data();
+  }
+
+  std::vector<float> col_, acts_, out_, slabs_;
+  tensor::GemmScratch gemm_;
+};
+
+/// Per-call execution context the executor threads through the kernels.
+/// The default ({}) is the serial optimised path with a transient
+/// workspace.
+struct ExecCtx {
+  /// Scratch arenas; nullptr makes each kernel use a call-local one.
+  Workspace* ws = nullptr;
+  /// Pool for the slab fan-out; nullptr (or threads <= 1) runs serial.
+  util::ThreadPool* pool = nullptr;
+  /// Number of slabs the parallel kernels split their work into.
+  int threads = 1;
+  /// Route GEMMs and element loops through the pre-PR scalar kernels
+  /// (serial, per-layer allocation) — the recorded perf baseline.
+  bool reference = false;
+};
+
+/// The process-wide pool the kernels fan out on, created on first use
+/// with one worker per hardware thread.
+util::ThreadPool& compute_pool();
+
 /// 2-D convolution via im2col + GEMM. `out` is resized to the batched
 /// output shape.
 template <typename T>
 void conv2d(const Tensor<T>& in, const LayerParams<T>& params,
-            const ConvParams& p, Tensor<T>& out);
+            const ConvParams& p, Tensor<T>& out, const ExecCtx& ctx = {});
 
 /// In-place ReLU.
 template <typename T>
-void relu(Tensor<T>& x);
+void relu(Tensor<T>& x, const ExecCtx& ctx = {});
 
 /// Max pooling (Caffe semantics: padded cells never win; ceil_mode sizes).
 template <typename T>
-void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out);
+void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
+              const ExecCtx& ctx = {});
 
 /// Average pooling. Matches Caffe: the divisor is the full window size
 /// including padding cells (AVE pooling with pad counts zeros).
 template <typename T>
-void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out);
+void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
+              const ExecCtx& ctx = {});
 
 /// Across-channel LRN. Accumulation in FP32 for both precisions.
 template <typename T>
-void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out);
+void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out,
+         const ExecCtx& ctx = {});
 
 /// Channel concatenation. Inputs must agree on n/h/w.
 template <typename T>
 void concat(const std::vector<const Tensor<T>*>& ins, Tensor<T>& out);
 
 /// Fully connected: out[n, f] = sum_i w[f, i] * in[n, i] + b[f].
+/// Runs as a GEMV per batch item (bit-identical to the n = 1 GEMM it
+/// replaced).
 template <typename T>
 void fully_connected(const Tensor<T>& in, const LayerParams<T>& params,
-                     const FCParams& p, Tensor<T>& out);
+                     const FCParams& p, Tensor<T>& out,
+                     const ExecCtx& ctx = {});
 
 /// Channel-wise softmax (numerically stabilised; always computed in FP32).
 template <typename T>

@@ -11,11 +11,200 @@ namespace {
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 128;
 constexpr std::int64_t kBlockK = 256;
+
+// Register micro-tile. Every output element still accumulates its k terms
+// in ascending order with the same per-term arithmetic as the reference
+// kernel (av = alpha * a[i,kk], skipped when zero), so results are
+// bit-identical: the accumulators are loaded from C before the k-slice
+// and stored after it, which is the same value chain as accumulating in
+// memory.
+constexpr std::int64_t kTileM = 4;
+constexpr std::int64_t kTileN = 8;
+
+// Full 4x8 tile: a points at the tile's first row, b at the tile's first
+// column, c at the tile's top-left element; kk runs over [k0, k1).
+inline void tile_4x8(std::int64_t k0, std::int64_t k1, float alpha,
+                     const float* a, std::int64_t lda, const float* b,
+                     std::int64_t ldb, float* c, std::int64_t ldc) noexcept {
+  float acc[kTileM][kTileN];
+  for (std::int64_t r = 0; r < kTileM; ++r) {
+    for (std::int64_t j = 0; j < kTileN; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (std::int64_t kk = k0; kk < k1; ++kk) {
+    const float* brow = b + kk * ldb;
+    const float av0 = alpha * a[0 * lda + kk];
+    const float av1 = alpha * a[1 * lda + kk];
+    const float av2 = alpha * a[2 * lda + kk];
+    const float av3 = alpha * a[3 * lda + kk];
+    if (av0 != 0.0f) {
+      for (std::int64_t j = 0; j < kTileN; ++j) acc[0][j] += av0 * brow[j];
+    }
+    if (av1 != 0.0f) {
+      for (std::int64_t j = 0; j < kTileN; ++j) acc[1][j] += av1 * brow[j];
+    }
+    if (av2 != 0.0f) {
+      for (std::int64_t j = 0; j < kTileN; ++j) acc[2][j] += av2 * brow[j];
+    }
+    if (av3 != 0.0f) {
+      for (std::int64_t j = 0; j < kTileN; ++j) acc[3][j] += av3 * brow[j];
+    }
+  }
+  for (std::int64_t r = 0; r < kTileM; ++r) {
+    for (std::int64_t j = 0; j < kTileN; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+// Ragged edge (rows < kTileM and/or cols < kTileN): plain memory
+// accumulation, same term order.
+inline void tile_edge(std::int64_t rows, std::int64_t cols, std::int64_t k0,
+                      std::int64_t k1, float alpha, const float* a,
+                      std::int64_t lda, const float* b, std::int64_t ldb,
+                      float* c, std::int64_t ldc) noexcept {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = a + r * lda;
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      const float av = alpha * arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * ldb;
+      for (std::int64_t j = 0; j < cols; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C (+)= alpha * A*B over pre-initialised C (the beta prologue has
+// already run). Strided row-major panels.
+void accumulate_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                        float alpha, const float* a, std::int64_t lda,
+                        const float* b, std::int64_t ldb, float* c,
+                        std::int64_t ldc) noexcept {
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k0 + kBlockK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t j1 = std::min(j0 + kBlockN, n);
+        std::int64_t i = i0;
+        for (; i + kTileM <= i1; i += kTileM) {
+          std::int64_t j = j0;
+          for (; j + kTileN <= j1; j += kTileN) {
+            tile_4x8(k0, k1, alpha, a + i * lda, lda, b + j, ldb,
+                     c + i * ldc + j, ldc);
+          }
+          if (j < j1) {
+            tile_edge(kTileM, j1 - j, k0, k1, alpha, a + i * lda, lda, b + j,
+                      ldb, c + i * ldc + j, ldc);
+          }
+        }
+        if (i < i1) {
+          tile_edge(i1 - i, j1 - j0, k0, k1, alpha, a + i * lda, lda, b + j0,
+                    ldb, c + i * ldc + j0, ldc);
+        }
+      }
+    }
+  }
+}
+
+// Grow-only resize keeping existing contents irrelevant (panels are
+// overwritten in full before use).
+inline float* panel(std::vector<float>& v, std::int64_t count) {
+  const auto need = static_cast<std::size_t>(count);
+  if (v.size() < need) v.resize(need);
+  return v.data();
+}
 }  // namespace
 
 void gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c) noexcept {
+  gemm_f32(m, n, k, alpha, a, k, b, n, beta, c, n);
+}
+
+void gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, std::int64_t lda, const float* b,
+              std::int64_t ldb, float beta, float* c,
+              std::int64_t ldc) noexcept {
   // Scale / clear C first so the blocked accumulation below can always add.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  accumulate_blocked(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_f16(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const ncsw::fp16::half* a, const ncsw::fp16::half* b, float beta,
+              ncsw::fp16::half* c, GemmScratch* scratch) noexcept {
+  // Expand the half operands to FP32 panels once (exact: half -> float is
+  // value-preserving) instead of converting per multiply-accumulate, then
+  // accumulate in FP32 and round once per element — the numerically honest
+  // model of an FP16 MAC pipeline with a wide accumulator, bit-identical
+  // to the pre-PR per-element kernel.
+  GemmScratch local;
+  GemmScratch& s = scratch ? *scratch : local;
+  float* af = panel(s.a, m * k);
+  float* bf = panel(s.b, k * n);
+  float* cf = panel(s.c, m * n);
+  ncsw::fp16::half_to_float_span(a, af, static_cast<std::size_t>(m * k));
+  ncsw::fp16::half_to_float_span(b, bf, static_cast<std::size_t>(k * n));
+  if (beta == 0.0f) {
+    std::fill(cf, cf + m * n, 0.0f);
+  } else {
+    ncsw::fp16::half_to_float_span(c, cf, static_cast<std::size_t>(m * n));
+    if (beta != 1.0f) {
+      for (std::int64_t i = 0; i < m * n; ++i) cf[i] *= beta;
+    }
+  }
+  accumulate_blocked(m, n, k, alpha, af, k, bf, n, cf, n);
+  ncsw::fp16::float_to_half_span(cf, c, static_cast<std::size_t>(m * n));
+}
+
+void gemv_f32(std::int64_t m, std::int64_t k, const float* a, const float* x,
+              float beta, float* y) noexcept {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float acc = beta == 0.0f ? 0.0f : beta * y[i];
+    const float* arow = a + i * k;
+    // Zero terms are skipped, matching the GEMM kernels (so the n = 1
+    // fully-connected path is bit-identical to the GEMM it replaced).
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      acc += av * x[kk];
+    }
+    y[i] = acc;
+  }
+}
+
+void gemv_f16(std::int64_t m, std::int64_t k, const ncsw::fp16::half* a,
+              const ncsw::fp16::half* x, float beta, ncsw::fp16::half* y,
+              GemmScratch* scratch) noexcept {
+  GemmScratch local;
+  GemmScratch& s = scratch ? *scratch : local;
+  float* af = panel(s.a, m * k);
+  float* xf = panel(s.b, k);
+  ncsw::fp16::half_to_float_span(a, af, static_cast<std::size_t>(m * k));
+  ncsw::fp16::half_to_float_span(x, xf, static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < m; ++i) {
+    float acc =
+        beta == 0.0f ? 0.0f : beta * static_cast<float>(y[i]);
+    const float* arow = af + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      acc += av * xf[kk];
+    }
+    y[i] = ncsw::fp16::half(acc);
+  }
+}
+
+// --- pre-PR reference kernels (kept verbatim) ------------------------------
+
+void gemm_f32_ref(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const float* a, const float* b, float beta,
+                  float* c) noexcept {
   if (beta == 0.0f) {
     std::fill(c, c + m * n, 0.0f);
   } else if (beta != 1.0f) {
@@ -44,12 +233,9 @@ void gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
-void gemm_f16(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-              const ncsw::fp16::half* a, const ncsw::fp16::half* b, float beta,
-              ncsw::fp16::half* c) noexcept {
-  // Accumulate each output row in FP32 scratch, then round once — this is
-  // the numerically honest model of an FP16 MAC pipeline with a wide
-  // accumulator.
+void gemm_f16_ref(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const ncsw::fp16::half* a, const ncsw::fp16::half* b,
+                  float beta, ncsw::fp16::half* c) noexcept {
   std::vector<float> acc(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < m; ++i) {
     if (beta == 0.0f) {
@@ -72,16 +258,6 @@ void gemm_f16(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
     for (std::int64_t j = 0; j < n; ++j) {
       c[i * n + j] = ncsw::fp16::half(acc[static_cast<std::size_t>(j)]);
     }
-  }
-}
-
-void gemv_f32(std::int64_t m, std::int64_t k, const float* a, const float* x,
-              float beta, float* y) noexcept {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float acc = beta == 0.0f ? 0.0f : beta * y[i];
-    const float* arow = a + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * x[kk];
-    y[i] = acc;
   }
 }
 

@@ -4,25 +4,83 @@
 // The FP16 variant stores operands in binary16 but accumulates in FP32,
 // which is how the SHAVE VAU executes FP16 dot products (and how every
 // practical FP16 GEMM behaves); the result is rounded to FP16 per element.
+//
+// Implementation notes (docs/performance.md): the FP32 kernel is
+// cache-blocked with a 4x8 register-accumulator micro-tile; the FP16
+// kernel expands the half operands to FP32 panels once and reuses the
+// FP32 kernel. Both are bit-identical to the pre-PR scalar kernels,
+// which are kept as gemm_*_ref for A/B benching and the golden tests:
+// every output element accumulates its k terms in the same ascending
+// order with the same per-term arithmetic, so no rounding changes.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "half/half.h"
 
 namespace ncsw::tensor {
 
+/// Reusable FP32 expansion panels for the FP16 GEMM/GEMV (grow-only;
+/// callers that loop over layers pass one scratch to stop per-call
+/// allocation).
+struct GemmScratch {
+  std::vector<float> a;  ///< A expanded to FP32
+  std::vector<float> b;  ///< B / x expanded to FP32
+  std::vector<float> c;  ///< FP32 accumulator image of C before rounding
+
+  /// Bytes currently reserved across the three panels.
+  std::size_t capacity_bytes() const noexcept {
+    return (a.capacity() + b.capacity() + c.capacity()) * sizeof(float);
+  }
+};
+
 /// FP32 GEMM: C = alpha * A*B + beta * C. Arrays are row-major and dense.
 void gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c) noexcept;
 
-/// FP16 GEMM with FP32 accumulation; output rounded to FP16.
+/// Strided FP32 GEMM over row-major panels with explicit leading
+/// dimensions (lda >= k, ldb/ldc >= n). Lets callers split C by column
+/// range across threads: each thread owns a disjoint [j0, j1) panel of
+/// B and C, and per-element results do not depend on the split.
+void gemm_f32(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, std::int64_t lda, const float* b,
+              std::int64_t ldb, float beta, float* c,
+              std::int64_t ldc) noexcept;
+
+/// FP16 GEMM with FP32 accumulation; output rounded to FP16. The half
+/// operands are expanded to FP32 scratch panels once (exact) instead of
+/// per multiply-accumulate; pass `scratch` to reuse the panels across
+/// calls.
 void gemm_f16(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const ncsw::fp16::half* a, const ncsw::fp16::half* b, float beta,
-              ncsw::fp16::half* c) noexcept;
+              ncsw::fp16::half* c, GemmScratch* scratch = nullptr) noexcept;
 
 /// Matrix-vector product y = A * x (+ y when beta = 1); row-major A[M x K].
 void gemv_f32(std::int64_t m, std::int64_t k, const float* a, const float* x,
               float beta, float* y) noexcept;
+
+/// FP16 GEMV with FP32 accumulation, rounded to FP16 per element —
+/// bit-identical to gemm_f16 with n = 1. Pass `scratch` to reuse the
+/// FP32 expansion of x across calls.
+void gemv_f16(std::int64_t m, std::int64_t k, const ncsw::fp16::half* a,
+              const ncsw::fp16::half* x, float beta, ncsw::fp16::half* y,
+              GemmScratch* scratch = nullptr) noexcept;
+
+// --- pre-PR reference kernels ---------------------------------------------
+// The scalar kernels this tree shipped before the blocked/threaded
+// rewrite, kept verbatim: the golden tests assert the optimised kernels
+// match them byte for byte, and bench/perf_forward measures speedup
+// against them as the recorded baseline.
+
+/// Reference (pre-PR) FP32 GEMM; bit-identical to gemm_f32.
+void gemm_f32_ref(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const float* a, const float* b, float beta,
+                  float* c) noexcept;
+
+/// Reference (pre-PR) FP16 GEMM; bit-identical to gemm_f16.
+void gemm_f16_ref(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const ncsw::fp16::half* a, const ncsw::fp16::half* b,
+                  float beta, ncsw::fp16::half* c) noexcept;
 
 }  // namespace ncsw::tensor

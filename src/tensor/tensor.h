@@ -118,12 +118,24 @@ using TensorF = Tensor<float>;
 using TensorH = Tensor<ncsw::fp16::half>;
 
 /// Elementwise conversion between precisions (or a copy when identical).
+/// half <-> float goes through the bulk span converters, which are
+/// bit-identical to the scalar conversions.
 template <typename To, typename From>
 Tensor<To> tensor_cast(const Tensor<From>& src) {
   Tensor<To> dst(src.shape());
   const std::int64_t n = src.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    dst[i] = scalar_cast<To>(src[i]);
+  if constexpr (std::is_same_v<From, ncsw::fp16::half> &&
+                std::is_same_v<To, float>) {
+    ncsw::fp16::half_to_float_span(src.data(), dst.data(),
+                                   static_cast<std::size_t>(n));
+  } else if constexpr (std::is_same_v<From, float> &&
+                       std::is_same_v<To, ncsw::fp16::half>) {
+    ncsw::fp16::float_to_half_span(src.data(), dst.data(),
+                                   static_cast<std::size_t>(n));
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      dst[i] = scalar_cast<To>(src[i]);
+    }
   }
   return dst;
 }

@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 namespace {
 
@@ -194,5 +196,123 @@ TEST_P(HalfMonotonicParam, ConversionIsMonotonic) {
 
 INSTANTIATE_TEST_SUITE_P(Bands, HalfMonotonicParam,
                          ::testing::Values(-20, -14, -10, -1, 0, 1, 7, 14));
+
+// --- bulk span converters --------------------------------------------------
+// The table decoder and the branch-reduced RTNE encoder must agree with
+// the scalar conversions on every input — the kernels rely on them being
+// interchangeable bit for bit.
+
+TEST(HalfSpan, TableDecodeMatchesScalarExhaustively) {
+  const float* table = ncsw::fp16::half_to_float_table();
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const float scalar = half_bits_to_float(bits);
+    std::uint32_t sb, tb;
+    std::memcpy(&sb, &scalar, sizeof(sb));
+    std::memcpy(&tb, &table[b], sizeof(tb));
+    ASSERT_EQ(sb, tb) << "half bits=" << b;
+  }
+}
+
+TEST(HalfSpan, DecodeSpanMatchesScalarOverAllBitPatterns) {
+  std::vector<half> src(65536);
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    src[b] = half::from_bits(static_cast<std::uint16_t>(b));
+  }
+  std::vector<float> dst(65536);
+  ncsw::fp16::half_to_float_span(src.data(), dst.data(), src.size());
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const float scalar = src[b].to_float();
+    std::uint32_t sb, db;
+    std::memcpy(&sb, &scalar, sizeof(sb));
+    std::memcpy(&db, &dst[b], sizeof(db));
+    ASSERT_EQ(sb, db) << "half bits=" << b;
+  }
+}
+
+// Encode a batch through the span API and require bit-equality with the
+// scalar encoder for each element.
+void expect_encode_matches(const std::vector<float>& values) {
+  std::vector<half> spanned(values.size());
+  ncsw::fp16::float_to_half_span(values.data(), spanned.data(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(float_to_half_bits(values[i]), spanned[i].bits())
+        << "i=" << i << " value=" << values[i];
+  }
+}
+
+TEST(HalfSpan, EncodeMatchesScalarOnHalfExactValues) {
+  std::vector<float> vals;
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(b));
+    if (!h.is_nan()) vals.push_back(h.to_float());
+  }
+  expect_encode_matches(vals);
+}
+
+TEST(HalfSpan, EncodeMatchesScalarOnTiesBoundariesAndSpecials) {
+  std::vector<float> vals;
+  // Every representable-half midpoint and its nearest float neighbours,
+  // both signs: the hardest RTNE cases.
+  for (std::uint32_t b = 0; b < 0x7bff; ++b) {
+    const float lo = half_bits_to_float(static_cast<std::uint16_t>(b));
+    const float hi = half_bits_to_float(static_cast<std::uint16_t>(b + 1));
+    const float mid = lo + (hi - lo) / 2.0f;
+    for (float v : {mid, std::nextafterf(mid, lo), std::nextafterf(mid, hi)}) {
+      vals.push_back(v);
+      vals.push_back(-v);
+    }
+  }
+  const float inf = std::numeric_limits<float>::infinity();
+  for (float v : {0.0f, -0.0f, 65504.0f, 65519.0f, 65520.0f, 1e30f, -1e30f,
+                  inf, -inf, 0x1.0p-24f, 0.5f * 0x1.0p-24f, 1e-10f, -1e-10f,
+                  0x1.ffcp-15f}) {
+    vals.push_back(v);
+  }
+  expect_encode_matches(vals);
+  // NaN payloads collapse to the same quiet NaN in both encoders.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(float_to_half_bits(nan), [&] {
+    half h;
+    ncsw::fp16::float_to_half_span(&nan, &h, 1);
+    return h.bits();
+  }());
+}
+
+TEST(HalfSpan, EncodeMatchesScalarOnRandomBitPatterns) {
+  // Uniform random float bit patterns (mostly non-finite-half inputs):
+  // a cheap fuzz over the whole encode domain.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  std::vector<float> vals;
+  vals.reserve(200000);
+  for (int i = 0; i < 200000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const auto bits = static_cast<std::uint32_t>(state);
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    if (std::isnan(v)) continue;  // NaN payload behaviour covered above
+    vals.push_back(v);
+  }
+  expect_encode_matches(vals);
+}
+
+TEST(HalfSpan, RoundTripThroughSpansIsIdentityForFinite) {
+  std::vector<half> src, back(65536);
+  std::vector<float> mid(65536);
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    src.push_back(half::from_bits(static_cast<std::uint16_t>(b)));
+  }
+  ncsw::fp16::half_to_float_span(src.data(), mid.data(), src.size());
+  ncsw::fp16::float_to_half_span(mid.data(), back.data(), mid.size());
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    if (src[b].is_nan()) {
+      EXPECT_TRUE(back[b].is_nan());
+      continue;
+    }
+    ASSERT_EQ(src[b].bits(), back[b].bits()) << "half bits=" << b;
+  }
+}
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "util/rng.h"
 
@@ -333,6 +334,164 @@ TEST(Softmax, Fp16OutputStillNormalised) {
   double sum = 0;
   for (int i = 0; i < 8; ++i) sum += static_cast<float>(out[i]);
   EXPECT_NEAR(sum, 1.0, 5e-3);  // FP16 rounding tolerance
+}
+
+// --- bit-identity: reference vs optimised vs threaded ---------------------
+// The cache-tuned / threaded kernels claim byte-equal outputs with the
+// pre-PR scalar kernels for any thread count. Each case runs the three
+// configurations on the same input and compares raw bytes.
+
+template <typename T>
+void expect_bytes_equal(const Tensor<T>& a, const Tensor<T>& b,
+                        const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<std::size_t>(a.numel()) * sizeof(T)))
+      << what;
+}
+
+kernels::ExecCtx reference_ctx() {
+  kernels::ExecCtx ctx;
+  ctx.reference = true;
+  return ctx;
+}
+
+kernels::ExecCtx threaded_ctx(kernels::Workspace& ws, int threads) {
+  kernels::ExecCtx ctx;
+  ctx.ws = &ws;
+  ctx.threads = threads;
+  ctx.pool = threads > 1 ? &kernels::compute_pool() : nullptr;
+  return ctx;
+}
+
+// Run `op(out, ctx)` under the three configurations and require
+// byte-equal outputs.
+template <typename T, typename Op>
+void expect_all_configs_bitwise_equal(const Op& op, const char* what) {
+  Tensor<T> out_ref, out_opt, out_thr;
+  kernels::Workspace ws;
+  op(out_ref, reference_ctx());
+  op(out_opt, kernels::ExecCtx{});
+  op(out_thr, threaded_ctx(ws, 4));
+  expect_bytes_equal(out_opt, out_ref, what);
+  expect_bytes_equal(out_thr, out_ref, what);
+}
+
+template <typename T>
+void conv_bit_identity_case(const ConvCase& c, std::uint64_t seed) {
+  const TensorF in_f = random_tensor(Shape{c.batch, c.in_c, c.h, c.w}, seed);
+  LayerParams<float> pf;
+  pf.w = random_tensor(Shape{c.out_c, c.in_c, c.kernel, c.kernel}, seed + 1);
+  pf.b = random_tensor(Shape{1, c.out_c, 1, 1}, seed + 2);
+  const Tensor<T> in = ncsw::tensor::tensor_cast<T>(in_f);
+  LayerParams<T> p;
+  p.w = ncsw::tensor::tensor_cast<T>(pf.w);
+  p.b = ncsw::tensor::tensor_cast<T>(pf.b);
+  const ConvParams cp{c.out_c, c.kernel, c.stride, c.pad};
+  expect_all_configs_bitwise_equal<T>(
+      [&](Tensor<T>& out, const kernels::ExecCtx& ctx) {
+        kernels::conv2d(in, p, cp, out, ctx);
+      },
+      "conv2d");
+}
+
+TEST(KernelBitIdentity, Conv2dAllConfigsBothPrecisions) {
+  const ConvCase cases[] = {{3, 11, 9, 5, 3, 2, 1, 2},
+                            {4, 6, 6, 8, 1, 1, 0, 1},
+                            {2, 9, 7, 5, 5, 2, 2, 3},
+                            {1, 5, 5, 1, 3, 1, 0, 1}};
+  std::uint64_t seed = 1000;
+  for (const auto& c : cases) {
+    conv_bit_identity_case<float>(c, seed);
+    conv_bit_identity_case<half>(c, seed);
+    seed += 10;
+  }
+}
+
+template <typename T>
+void relu_bit_identity_case() {
+  const TensorF src_f = random_tensor(Shape{2, 3, 7, 5}, 2000);
+  const Tensor<T> src = ncsw::tensor::tensor_cast<T>(src_f);
+  Tensor<T> ref = src, opt = src, thr = src;
+  kernels::Workspace ws;
+  kernels::relu(ref, reference_ctx());
+  kernels::relu(opt, kernels::ExecCtx{});
+  kernels::relu(thr, threaded_ctx(ws, 4));
+  expect_bytes_equal(opt, ref, "relu");
+  expect_bytes_equal(thr, ref, "relu");
+}
+
+TEST(KernelBitIdentity, ReluAllConfigsBothPrecisions) {
+  relu_bit_identity_case<float>();
+  relu_bit_identity_case<half>();
+}
+
+template <typename T>
+void pool_bit_identity_case(const PoolParams& pp, const Shape& shape,
+                            std::uint64_t seed) {
+  const Tensor<T> in =
+      ncsw::tensor::tensor_cast<T>(random_tensor(shape, seed));
+  expect_all_configs_bitwise_equal<T>(
+      [&](Tensor<T>& out, const kernels::ExecCtx& ctx) {
+        kernels::max_pool(in, pp, out, ctx);
+      },
+      "max_pool");
+  expect_all_configs_bitwise_equal<T>(
+      [&](Tensor<T>& out, const kernels::ExecCtx& ctx) {
+        kernels::avg_pool(in, pp, out, ctx);
+      },
+      "avg_pool");
+}
+
+TEST(KernelBitIdentity, PoolsAllConfigsBothPrecisions) {
+  const PoolParams padded{3, 2, 1, true, false};
+  const PoolParams global = [] {
+    PoolParams p;
+    p.global = true;
+    return p;
+  }();
+  pool_bit_identity_case<float>(padded, Shape{2, 5, 9, 7}, 3000);
+  pool_bit_identity_case<half>(padded, Shape{2, 5, 9, 7}, 3000);
+  pool_bit_identity_case<float>(global, Shape{3, 4, 5, 6}, 3100);
+  pool_bit_identity_case<half>(global, Shape{3, 4, 5, 6}, 3100);
+}
+
+template <typename T>
+void lrn_bit_identity_case(std::uint64_t seed) {
+  const Tensor<T> in =
+      ncsw::tensor::tensor_cast<T>(random_tensor(Shape{2, 7, 5, 3}, seed));
+  const LRNParams p{5, 1e-4f, 0.75f, 2.0f};
+  expect_all_configs_bitwise_equal<T>(
+      [&](Tensor<T>& out, const kernels::ExecCtx& ctx) {
+        kernels::lrn(in, p, out, ctx);
+      },
+      "lrn");
+}
+
+TEST(KernelBitIdentity, LrnAllConfigsBothPrecisions) {
+  lrn_bit_identity_case<float>(4000);
+  lrn_bit_identity_case<half>(4000);
+}
+
+template <typename T>
+void fc_bit_identity_case(std::uint64_t seed) {
+  const Tensor<T> in =
+      ncsw::tensor::tensor_cast<T>(random_tensor(Shape{3, 4, 3, 3}, seed));
+  LayerParams<T> p;
+  p.w = ncsw::tensor::tensor_cast<T>(
+      random_tensor(Shape{11, 4 * 3 * 3, 1, 1}, seed + 1));
+  p.b =
+      ncsw::tensor::tensor_cast<T>(random_tensor(Shape{1, 11, 1, 1}, seed + 2));
+  expect_all_configs_bitwise_equal<T>(
+      [&](Tensor<T>& out, const kernels::ExecCtx& ctx) {
+        kernels::fully_connected(in, p, FCParams{11}, out, ctx);
+      },
+      "fully_connected");
+}
+
+TEST(KernelBitIdentity, FullyConnectedAllConfigsBothPrecisions) {
+  fc_bit_identity_case<float>(5000);
+  fc_bit_identity_case<half>(5000);
 }
 
 }  // namespace
