@@ -1,0 +1,205 @@
+// Serving extension — open-loop load generation against the serve
+// frontend. The figure benches are closed-loop (the next image is issued
+// the moment the previous one finishes, so the system is never
+// overloaded); this harness instead offers a Poisson arrival stream at a
+// configurable rate and measures what a *service* built on the paper's
+// targets delivers: tail latency (p50/p95/p99), goodput, and how much
+// work admission control sheds. Each solo target is driven with the same
+// arrival trace as the heterogeneous CPU + GPU + multi-VPU dispatcher,
+// so the table reads as "what does adding the VPU group to the node buy
+// an online service". The mixed phase is then replayed from the same
+// seed with fresh targets to demonstrate byte-determinism.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/host_target.h"
+#include "core/vpu_target.h"
+#include "serve/arrivals.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace ncsw;
+
+std::vector<serve::Request> make_trace(std::int64_t n, double rate,
+                                       std::uint64_t seed) {
+  serve::PoissonArrivals arrivals(rate, seed);
+  std::vector<serve::Request> trace;
+  trace.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.arrival_s = arrivals.next();
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+/// Full-precision fingerprint of everything the replay must reproduce.
+std::string fingerprint(const serve::ServeReport& r) {
+  char buf[160];
+  std::string fp;
+  std::snprintf(buf, sizeof(buf), "%lld/%lld/%lld/%.17g/%.17g/%.17g/%.17g",
+                static_cast<long long>(r.completed),
+                static_cast<long long>(r.rejected),
+                static_cast<long long>(r.dropped), r.p50_ms, r.p95_ms,
+                r.p99_ms, r.last_complete_s);
+  fp = buf;
+  for (const auto& t : r.targets) {
+    std::snprintf(buf, sizeof(buf), "|%s:%lld/%lld/%.17g", t.label.c_str(),
+                  static_cast<long long>(t.batches),
+                  static_cast<long long>(t.images), t.busy_s);
+    fp += buf;
+  }
+  return fp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ncsw;
+  util::Cli cli("serve_loadgen",
+                "open-loop Poisson load against the serving frontend: "
+                "solo targets vs the heterogeneous dispatcher");
+  cli.add_int("requests", 4000, "requests per phase");
+  cli.add_int("devices", 8, "NCS sticks in the VPU group");
+  cli.add_double("rate", 0.0,
+                 "offered load (req/s); 0 = 0.9x the node's calibrated "
+                 "aggregate throughput");
+  cli.add_int("seed", 42, "arrival-process seed");
+  cli.add_int("queue", 32, "admission queue capacity");
+  cli.add_int("batch", 8, "max dispatch batch");
+  cli.add_double("timeout-ms", 50.0, "partial-batch flush timeout");
+  cli.add_double("deadline-ms", 250.0,
+                 "queue deadline before a request is dropped (0 = never)");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::setup(cli);
+
+  const std::int64_t requests = cli.get_int("requests");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  auto bundle = core::ModelBundle::googlenet_reference();
+  core::VpuTargetConfig vcfg;
+  vcfg.devices = static_cast<int>(cli.get_int("devices"));
+
+  serve::ServerConfig scfg;
+  scfg.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+  scfg.max_batch = static_cast<int>(cli.get_int("batch"));
+  scfg.batch_timeout_s = cli.get_double("timeout-ms") * 1e-3;
+  if (cli.get_double("deadline-ms") > 0.0) {
+    scfg.queue_deadline_s = cli.get_double("deadline-ms") * 1e-3;
+  }
+
+  // Calibrate each engine's standalone batch-8 throughput (fresh targets;
+  // the phases below re-create their own so every phase starts from the
+  // same deterministic state).
+  double rate = cli.get_double("rate");
+  std::vector<double> calib;
+  {
+    util::tracer().set_lane_prefix("calib ");
+    auto cpu = core::make_cpu_target(bundle);
+    auto gpu = core::make_gpu_target(bundle);
+    core::VpuTarget vpu(bundle, vcfg);
+    for (core::Target* t :
+         std::vector<core::Target*>{cpu.get(), gpu.get(), &vpu}) {
+      calib.push_back(t->run_timed(800, 8).throughput());
+    }
+  }
+  const double node_sum = calib[0] + calib[1] + calib[2];
+  if (rate <= 0.0) rate = 0.9 * node_sum;
+  const double best_single_tput =
+      *std::max_element(calib.begin(), calib.end());
+
+  struct Phase {
+    std::string name;
+    serve::ServeReport report;
+  };
+  std::vector<Phase> phases;
+  std::string mixed_fp, replay_fp;
+  double mixed_goodput = 0.0, best_solo_goodput = 0.0;
+
+  // "cpu" / "gpu" / "vpu" solo, then "mixed", then "replay" of mixed.
+  const std::vector<std::string> phase_names{"solo-cpu", "solo-gpu",
+                                             "solo-vpu", "mixed", "replay"};
+  for (const auto& name : phase_names) {
+    util::tracer().set_lane_prefix(name + " ");
+    auto cpu = core::make_cpu_target(bundle);
+    auto gpu = core::make_gpu_target(bundle);
+    core::VpuTarget vpu(bundle, vcfg);
+    std::vector<core::Target*> targets;
+    if (name == "solo-cpu") targets = {cpu.get()};
+    if (name == "solo-gpu") targets = {gpu.get()};
+    if (name == "solo-vpu") targets = {&vpu};
+    if (name == "mixed" || name == "replay") {
+      targets = {cpu.get(), gpu.get(), &vpu};
+    }
+    serve::Server server(targets, scfg);
+    const auto trace = make_trace(requests, rate, seed);
+    Phase phase{name, server.run(trace)};
+    if (name == "mixed") {
+      mixed_fp = fingerprint(phase.report);
+      mixed_goodput = phase.report.goodput();
+    } else if (name == "replay") {
+      replay_fp = fingerprint(phase.report);
+    } else {
+      best_solo_goodput = std::max(best_solo_goodput, phase.report.goodput());
+    }
+    phases.push_back(std::move(phase));
+  }
+  util::tracer().set_lane_prefix("");
+  const bool replay_identical = mixed_fp == replay_fp;
+
+  util::Table table("serve: " + std::to_string(requests) +
+                    " req at " + util::Table::num(rate, 1) + " req/s (seed " +
+                    std::to_string(seed) + ")");
+  table.set_header({"phase", "completed", "rejected", "dropped",
+                    "goodput (req/s)", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+  for (const auto& [name, r] : phases) {
+    table.add_row({name, std::to_string(r.completed),
+                   std::to_string(r.rejected), std::to_string(r.dropped),
+                   util::Table::num(r.goodput(), 1),
+                   util::Table::num(r.p50_ms, 1),
+                   util::Table::num(r.p95_ms, 1),
+                   util::Table::num(r.p99_ms, 1)});
+  }
+  bench::emit(table, cli);
+
+  const double vs_best = mixed_goodput / best_solo_goodput;
+  std::cout << "\nheterogeneous dispatch sustains "
+            << util::Table::num(mixed_goodput, 1) << " req/s goodput — "
+            << util::Table::num(vs_best, 2)
+            << "x the best solo target under the same offered load; replay "
+            << (replay_identical ? "is" : "IS NOT") << " bit-identical.\n";
+
+  bench::BenchReport report("serve_loadgen");
+  report.config("requests", requests);
+  report.config("devices", static_cast<std::int64_t>(vcfg.devices));
+  report.config("rate_req_per_s", rate);
+  report.config("seed", static_cast<std::int64_t>(seed));
+  report.config("queue_capacity", static_cast<std::int64_t>(scfg.queue_capacity));
+  report.config("max_batch", static_cast<std::int64_t>(scfg.max_batch));
+  report.config("batch_timeout_ms", scfg.batch_timeout_s * 1e3);
+  report.config("queue_deadline_ms",
+                std::isfinite(scfg.queue_deadline_s)
+                    ? scfg.queue_deadline_s * 1e3
+                    : 0.0);
+  report.value("node_aggregate_tput", node_sum);
+  report.value("best_single_tput", best_single_tput);
+  for (const auto& [name, r] : phases) {
+    report.value(name + ".offered", static_cast<double>(r.offered));
+    report.value(name + ".completed", static_cast<double>(r.completed));
+    report.value(name + ".rejected", static_cast<double>(r.rejected));
+    report.value(name + ".dropped", static_cast<double>(r.dropped));
+    report.value(name + ".goodput", r.goodput());
+    report.value(name + ".p50_ms", r.p50_ms);
+    report.value(name + ".p95_ms", r.p95_ms);
+    report.value(name + ".p99_ms", r.p99_ms);
+    report.value(name + ".max_queue_depth",
+                 static_cast<double>(r.max_queue_depth));
+  }
+  report.value("mixed_vs_best_solo", vs_best);
+  report.value("replay_identical", replay_identical ? 1.0 : 0.0);
+  bench::write_report(report, cli);
+  bench::finalize(cli);
+  return replay_identical ? 0 : 1;
+}

@@ -67,12 +67,16 @@ StreamSource::StreamSource(Producer producer, std::size_t queue_capacity)
 }
 
 StreamSource::~StreamSource() {
+  close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StreamSource::close() {
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
 }
 
 void StreamSource::producer_loop() {
@@ -85,7 +89,13 @@ void StreamSource::producer_loop() {
       return;
     }
     cv_.wait(lock, [this] { return stop_ || queue_.size() < capacity_; });
-    if (stop_) return;
+    if (stop_) {
+      // Leaving on close() still marks the stream finished, so a consumer
+      // that only watches done_ (or races the close) cannot block forever.
+      done_ = true;
+      cv_.notify_all();
+      return;
+    }
     queue_.push_back(std::move(*item));
     cv_.notify_all();
   }
@@ -93,8 +103,10 @@ void StreamSource::producer_loop() {
 
 std::optional<SourceItem> StreamSource::next() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return done_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;
+  // stop_ must be part of the predicate: close() (and the destructor)
+  // would otherwise never wake a consumer blocked here on an empty queue.
+  cv_.wait(lock, [this] { return stop_ || done_ || !queue_.empty(); });
+  if (stop_ || queue_.empty()) return std::nullopt;
   SourceItem item = std::move(queue_.front());
   queue_.pop_front();
   cv_.notify_all();
@@ -123,30 +135,44 @@ MpiStreamSource::MpiStreamSource(std::vector<Producer> producers,
 }
 
 MpiStreamSource::~MpiStreamSource() {
+  close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void MpiStreamSource::close() {
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
-  }
 }
 
 void MpiStreamSource::rank_loop(std::size_t rank) {
   for (;;) {
     std::optional<SourceItem> item = producers_[rank]();
     std::unique_lock lock(mutex_);
-    if (!item) {
+    // Every exit path must decrement live_producers_: the consumer
+    // predicate counts on the last leaving rank to fire it at shutdown.
+    if (!item || stop_) {
       --live_producers_;
       cv_.notify_all();
       return;
     }
-    if (queue_.size() >= capacity_) {
+    // Backpressure. A manual wait loop (not the predicate overload) so
+    // stats_.producer_waits counts every re-wait: a rank that wakes but
+    // loses the race for the freed slot to another rank goes back to
+    // sleep, and that is a second wait the stats must show.
+    while (!stop_ && queue_.size() >= capacity_) {
       ++stats_.producer_waits;
-      cv_.wait(lock, [this] { return stop_ || queue_.size() < capacity_; });
+      cv_.wait(lock);
     }
-    if (stop_) return;
+    if (stop_) {
+      --live_producers_;
+      cv_.notify_all();
+      return;
+    }
     queue_.push_back(std::move(*item));
     ++stats_.produced;
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
@@ -156,9 +182,12 @@ void MpiStreamSource::rank_loop(std::size_t rank) {
 
 std::optional<SourceItem> MpiStreamSource::next() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock,
-           [this] { return live_producers_ == 0 || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;
+  // stop_ in the predicate keeps a consumer blocked here from hanging
+  // when close() (or the destructor) shuts the stream down.
+  cv_.wait(lock, [this] {
+    return stop_ || live_producers_ == 0 || !queue_.empty();
+  });
+  if (stop_ || queue_.empty()) return std::nullopt;
   SourceItem item = std::move(queue_.front());
   queue_.pop_front();
   ++stats_.consumed;

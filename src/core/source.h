@@ -84,6 +84,14 @@ class DirectorySource : public Source {
 /// Bounded-queue streaming source fed by a producer thread — the
 /// MPI-stream-shaped input (Peng et al.) the paper's class diagram
 /// anticipates. The producer function is called until it returns nullopt.
+///
+/// Shutdown semantics: close() stops the stream — it wakes a consumer
+/// blocked in next() (which then returns nullopt, discarding anything
+/// still queued) and releases a producer blocked on backpressure. The
+/// destructor calls close() and joins the producer thread; a consumer
+/// blocked in next() when close() is called is guaranteed to return, but
+/// next() must not be entered concurrently with destruction. The
+/// producer function itself must return for the join to complete.
 class StreamSource : public Source {
  public:
   using Producer = std::function<std::optional<SourceItem>()>;
@@ -96,6 +104,11 @@ class StreamSource : public Source {
   /// Streams cannot rewind.
   void reset() override;
   std::int64_t size() const override { return -1; }
+
+  /// Stop the stream: subsequent (and blocked) next() calls return
+  /// nullopt, the producer exits at its next queue interaction.
+  /// Idempotent; does not join the producer thread (the destructor does).
+  void close();
 
  private:
   void producer_loop();
@@ -114,6 +127,12 @@ class StreamSource : public Source {
 /// ref. [32] (Peng et al., "A data streaming model in MPI"): several
 /// ranks push items into one bounded channel; the consumer sees a single
 /// merged stream in arrival order, with backpressure on the producers.
+///
+/// Shutdown semantics mirror StreamSource: close() wakes a blocked
+/// consumer (next() returns nullopt) and every rank blocked on
+/// backpressure; ranks leaving on close still decrement the live-producer
+/// count, so the consumer predicate always fires. The destructor calls
+/// close() and joins all rank threads.
 class MpiStreamSource : public Source {
  public:
   using Producer = std::function<std::optional<SourceItem>()>;
@@ -140,6 +159,9 @@ class MpiStreamSource : public Source {
   int ranks() const noexcept { return static_cast<int>(threads_.size()); }
   /// Current flow statistics (thread-safe snapshot).
   Stats stats() const;
+
+  /// Stop the stream: wakes the consumer and every rank; see class docs.
+  void close();
 
  private:
   void rank_loop(std::size_t rank);

@@ -66,6 +66,15 @@ class Target {
   /// Simulated throughput run of `images` inputs at batch size `batch`.
   virtual TimedRun run_timed(std::int64_t images, int batch) = 0;
 
+  /// Advance the target's internal simulated clock to at least `t_s`
+  /// seconds. Targets whose device timelines persist across run_timed
+  /// calls (the multi-VPU target's per-stick host cursors) use this to
+  /// align with an outer scheduler — e.g. the serve dispatcher issuing a
+  /// batch at simulated time t after the sticks went idle — so their
+  /// trace lanes line up with the scheduler's. Host targets keep no
+  /// persistent clock; the default is a no-op.
+  virtual void advance_clock(double /*t_s*/) {}
+
   /// Functional inference on preprocessed FP32 inputs (each 1xCxHxW).
   /// Requires a functional model bundle.
   virtual std::vector<Prediction> classify(

@@ -397,6 +397,15 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
   return run;
 }
 
+void VpuTarget::advance_clock(double t_s) {
+  if (mvnc::host_generation() != host_generation_) return;
+  for (void* graph : graph_handles_) {
+    if (!graph) continue;
+    const auto now = mvnc::host_time(graph);
+    if (now && *now < t_s) mvnc::set_host_time(graph, t_s);
+  }
+}
+
 std::vector<Prediction> VpuTarget::classify(
     const std::vector<tensor::TensorF>& inputs) {
   if (!bundle_->functional()) {

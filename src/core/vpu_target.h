@@ -81,6 +81,11 @@ class VpuTarget : public Target {
   std::vector<Prediction> classify(
       const std::vector<tensor::TensorF>& inputs) override;
 
+  /// Move every stick's host cursor forward to at least `t_s` (never
+  /// backward). No-op after another target's host_reset invalidated the
+  /// handles.
+  void advance_clock(double t_s) override;
+
   /// Per-layer execution times (ms) reported by the NCAPI profiling
   /// option for stick 0.
   std::vector<float> layer_times_ms() const;

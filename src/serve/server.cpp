@@ -1,0 +1,437 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "util/trace.h"
+
+namespace ncsw::serve {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+/// Dispatcher-side view of one target.
+struct Server::TargetState {
+  core::Target* target = nullptr;
+  std::string label;
+  int max_batch = 1;
+  double tput_est = 0.0;  ///< img/s EWMA
+  bool observed = false;  ///< at least one completed batch
+  bool busy = false;
+  double dispatch_s = 0.0;
+  double busy_until = 0.0;
+  core::TimedRun last_run;
+  std::vector<std::size_t> inflight;  ///< record indices being served
+  int lane = -1;
+  TargetStats stats;
+};
+
+Server::Server(std::vector<core::Target*> targets, ServerConfig config)
+    : config_(config), targets_(std::move(targets)) {
+  if (targets_.empty()) {
+    throw std::invalid_argument("Server: no targets");
+  }
+  for (auto* t : targets_) {
+    if (!t) throw std::invalid_argument("Server: null target");
+  }
+  if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+  if (config_.max_batch < 1) config_.max_batch = 1;
+  if (!(config_.batch_timeout_s >= 0.0)) {
+    throw std::invalid_argument("Server: bad batch_timeout_s");
+  }
+  if (!(config_.queue_deadline_s > 0.0)) {
+    throw std::invalid_argument("Server: bad queue_deadline_s");
+  }
+  if (!(config_.estimator_gain > 0.0) || config_.estimator_gain > 1.0) {
+    throw std::invalid_argument("Server: estimator_gain must be in (0, 1]");
+  }
+  if (!(config_.prior_tput > 0.0)) {
+    throw std::invalid_argument("Server: prior_tput must be > 0");
+  }
+}
+
+ServeReport Server::run(core::Source& source,
+                        const std::function<double()>& next_arrival_s,
+                        std::int64_t limit) {
+  if (!next_arrival_s) {
+    throw std::invalid_argument("Server::run: null arrival process");
+  }
+  std::vector<Request> requests;
+  std::int64_t id = 0;
+  while (limit < 0 || id < limit) {
+    auto item = source.next();
+    if (!item) break;
+    Request req;
+    req.id = id++;
+    req.arrival_s = next_arrival_s();
+    req.label = item->label;
+    req.tag = std::move(item->id);
+    requests.push_back(std::move(req));
+  }
+  return run(requests);
+}
+
+ServeReport Server::run(const std::vector<Request>& requests) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!std::isfinite(requests[i].arrival_s) ||
+        (i > 0 && requests[i].arrival_s < requests[i - 1].arrival_s)) {
+      throw std::invalid_argument(
+          "Server::run: arrivals must be finite and sorted");
+    }
+  }
+
+  ServeReport report;
+  report.offered = static_cast<std::int64_t>(requests.size());
+  report.records.reserve(requests.size());
+  for (const auto& req : requests) {
+    RequestRecord rec;
+    rec.request = req;
+    report.records.push_back(std::move(rec));
+  }
+  auto& records = report.records;
+
+  std::vector<TargetState> states(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    TargetState& ts = states[i];
+    ts.target = targets_[i];
+    ts.label = targets_[i]->short_name();
+    ts.max_batch =
+        std::max(1, std::min(config_.max_batch, targets_[i]->max_batch()));
+    ts.tput_est = config_.prior_tput;
+    ts.stats.label = ts.label;
+  }
+
+  auto& reg = util::metrics();
+  util::Counter& m_offered = reg.counter("serve.offered");
+  util::Counter& m_accepted = reg.counter("serve.accepted");
+  util::Counter& m_rejected = reg.counter("serve.rejected");
+  util::Counter& m_dropped = reg.counter("serve.dropped");
+  util::Counter& m_completed = reg.counter("serve.completed");
+  util::Counter& m_batches = reg.counter("serve.batches");
+  util::Gauge& g_depth = reg.gauge("serve.queue_depth");
+  util::Histogram& h_batch = reg.histogram(
+      "serve.batch_size", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64});
+  util::Histogram& h_latency = reg.histogram(
+      "serve.latency_ms",
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+
+  auto& tr = util::tracer();
+  int queue_lane = -1, sched_lane = -1;
+  if (tr.enabled()) {
+    sched_lane = tr.lane("serve sched");
+    queue_lane = tr.lane("serve queue");
+    for (auto& ts : states) ts.lane = tr.lane("serve " + ts.label);
+  }
+
+  // Per-request trace lanes: a request occupies the lowest free "serve
+  // slot<k>" lane from admission to completion/drop, so each slot lane
+  // carries disjoint request spans (with queued/service children nested
+  // inside) and the whole trace stays lint-clean. The pool is bounded by
+  // queue capacity + in-flight work.
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_slots;
+  int next_slot = 0;
+  std::vector<int> slot_of(records.size(), -1);
+  const bool trace_req = config_.trace_requests;
+  auto alloc_slot = [&](std::size_t idx) {
+    if (!tr.enabled() || !trace_req) return;
+    int slot;
+    if (free_slots.empty()) {
+      slot = next_slot++;
+    } else {
+      slot = free_slots.top();
+      free_slots.pop();
+    }
+    slot_of[idx] = slot;
+  };
+  auto emit_request_spans = [&](std::size_t idx, double end_s) {
+    const int slot = slot_of[idx];
+    if (slot < 0) return;
+    const RequestRecord& rec = records[idx];
+    const double a = rec.request.arrival_s;
+    const int lane = tr.lane("serve slot" + std::to_string(slot));
+    tr.complete("serve.req", "request", lane, a, end_s,
+                {util::TraceArg::num("id", rec.request.id),
+                 util::TraceArg::str("outcome", outcome_name(rec.outcome))});
+    if (rec.outcome == Outcome::kCompleted) {
+      tr.complete("serve.req", "queued", lane, a, rec.dispatch_s,
+                  {util::TraceArg::str("target", states[static_cast<
+                       std::size_t>(rec.target)].label)});
+      tr.complete("serve.req", "service", lane, rec.dispatch_s, end_s);
+    } else {
+      tr.complete("serve.req", "queued", lane, a, end_s);
+    }
+    free_slots.push(slot);
+    slot_of[idx] = -1;
+  };
+
+  std::deque<std::size_t> pending;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  auto sample_depth = [&] {
+    const auto depth = pending.size();
+    g_depth.set(static_cast<double>(depth));
+    report.max_queue_depth = std::max(report.max_queue_depth, depth);
+    if (tr.enabled()) {
+      tr.counter("serve.queue_depth", now, static_cast<double>(depth));
+    }
+  };
+  auto head_arrival = [&] {
+    return records[pending.front()].request.arrival_s;
+  };
+  auto drop_head = [&] {
+    const std::size_t idx = pending.front();
+    pending.pop_front();
+    RequestRecord& rec = records[idx];
+    rec.outcome = Outcome::kDropped;
+    rec.complete_s = now;
+    ++report.dropped;
+    m_dropped.add(1);
+    if (tr.enabled()) {
+      if (queue_lane >= 0) tr.instant("serve", "drop", queue_lane, now);
+      emit_request_spans(idx, now);
+    }
+  };
+
+  // Pick the free target expected to clear work fastest: unobserved
+  // targets first (everyone gets explored early), then the highest
+  // throughput estimate; ties resolve to the lowest index, which keeps
+  // the whole schedule deterministic.
+  auto pick_target = [&]() -> int {
+    int best = -1;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].busy) continue;
+      const int ci = static_cast<int>(i);
+      if (best < 0) {
+        best = ci;
+        continue;
+      }
+      const TargetState& b = states[static_cast<std::size_t>(best)];
+      const TargetState& c = states[i];
+      if (!c.observed && b.observed) {
+        best = ci;
+      } else if (c.observed == b.observed && c.tput_est > b.tput_est) {
+        best = ci;
+      }
+    }
+    return best;
+  };
+
+  auto dispatch = [&](int which, std::size_t n) {
+    TargetState& ts = states[static_cast<std::size_t>(which)];
+    ts.inflight.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = pending.front();
+      pending.pop_front();
+      records[idx].dispatch_s = now;
+      records[idx].target = which;
+      ts.inflight.push_back(idx);
+    }
+    ts.target->advance_clock(now);
+    const int batch = static_cast<int>(std::min<std::size_t>(
+        n, static_cast<std::size_t>(ts.max_batch)));
+    ts.last_run = ts.target->run_timed(static_cast<std::int64_t>(n), batch);
+    ts.busy = true;
+    ts.dispatch_s = now;
+    ts.busy_until = now + ts.last_run.seconds;
+    m_batches.add(1);
+    h_batch.record(static_cast<double>(n));
+    sample_depth();
+  };
+
+  // Drop expired heads, then dispatch while a free target has either a
+  // full batch waiting or (on `force` / an aged head) a partial one.
+  auto try_dispatch = [&](bool force) {
+    for (;;) {
+      while (!pending.empty() &&
+             now >= head_arrival() + config_.queue_deadline_s) {
+        drop_head();
+        sample_depth();
+      }
+      if (pending.empty()) return;
+      const int which = pick_target();
+      if (which < 0) return;
+      const TargetState& ts = states[static_cast<std::size_t>(which)];
+      const auto cap = static_cast<std::size_t>(ts.max_batch);
+      const bool full = pending.size() >= cap;
+      const bool aged = now - head_arrival() >= config_.batch_timeout_s;
+      if (!full && !aged && !force) return;
+      dispatch(which, std::min(pending.size(), cap));
+      force = false;
+    }
+  };
+
+  auto complete_batch = [&](int which) {
+    TargetState& ts = states[static_cast<std::size_t>(which)];
+    const core::TimedRun& tr_run = ts.last_run;
+    const double duration = ts.busy_until - ts.dispatch_s;
+    const auto issued = static_cast<std::int64_t>(ts.inflight.size());
+    const std::int64_t ok = std::min<std::int64_t>(tr_run.images, issued);
+    for (std::size_t k = 0; k < ts.inflight.size(); ++k) {
+      const std::size_t idx = ts.inflight[k];
+      RequestRecord& rec = records[idx];
+      rec.complete_s = now;
+      if (static_cast<std::int64_t>(k) < ok) {
+        rec.outcome = Outcome::kCompleted;
+        ++report.completed;
+        const double ms = rec.latency_s() * 1e3;
+        report.latency_ms.add(ms);
+        h_latency.record(ms);
+      } else {
+        // Lost in flight: every stick died mid-batch under allow_partial.
+        rec.outcome = Outcome::kDropped;
+        ++report.dropped;
+        m_dropped.add(1);
+      }
+      if (tr.enabled()) emit_request_spans(idx, now);
+    }
+    report.last_complete_s = std::max(report.last_complete_s, now);
+    m_completed.add(static_cast<std::uint64_t>(ok));
+    reg.counter("serve.target" + std::to_string(which) + ".images")
+        .add(static_cast<std::uint64_t>(ok));
+
+    // Feedback: fold the observed clearing rate into the estimate. A
+    // batch slowed by retries/quarantines (or with lost images) sinks the
+    // estimate, steering later batches to healthier targets.
+    const double observed =
+        duration > 0.0 ? static_cast<double>(ok) / duration : 0.0;
+    if (!ts.observed) {
+      ts.tput_est = observed;
+      ts.observed = true;
+    } else {
+      ts.tput_est = (1.0 - config_.estimator_gain) * ts.tput_est +
+                    config_.estimator_gain * observed;
+    }
+    ++ts.stats.batches;
+    ts.stats.images += ok;
+    ts.stats.busy_s += duration;
+    ts.stats.tput_est = ts.tput_est;
+    ts.stats.images_replayed += tr_run.images_replayed;
+    ts.stats.images_lost += tr_run.images_lost;
+    ts.stats.sticks_recovered += tr_run.sticks_recovered;
+    ts.stats.sticks_dead = tr_run.sticks_dead;
+    if (tr.enabled() && ts.lane >= 0) {
+      tr.complete("serve", "batch", ts.lane, ts.dispatch_s, now,
+                  {util::TraceArg::num("n", issued),
+                   util::TraceArg::num("completed", ok),
+                   util::TraceArg::num("tput_obs", observed),
+                   util::TraceArg::num("tput_est", ts.tput_est)});
+    }
+    ts.busy = false;
+    ts.inflight.clear();
+  };
+
+  enum class Ev { kNone, kComplete, kDrop, kArrive, kFlush };
+  for (;;) {
+    double t_complete = kInf;
+    int done_target = -1;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].busy && states[i].busy_until < t_complete) {
+        t_complete = states[i].busy_until;
+        done_target = static_cast<int>(i);
+      }
+    }
+    const double t_arrive = next_arrival < records.size()
+                                ? records[next_arrival].request.arrival_s
+                                : kInf;
+    double t_drop = kInf, t_flush = kInf;
+    if (!pending.empty()) {
+      t_drop = head_arrival() + config_.queue_deadline_s;
+      // A flush can only act when some target is free; otherwise the
+      // next completion re-evaluates dispatch anyway.
+      for (const auto& ts : states) {
+        if (!ts.busy) {
+          t_flush = head_arrival() + config_.batch_timeout_s;
+          break;
+        }
+      }
+    }
+
+    // Fixed tie-break order keeps the replay deterministic: completions
+    // free capacity before drops fire, drops before new arrivals are
+    // admitted, arrivals before a flush batches them up.
+    Ev ev = Ev::kNone;
+    double t = kInf;
+    if (t_complete < t) { t = t_complete; ev = Ev::kComplete; }
+    if (t_drop < t) { t = t_drop; ev = Ev::kDrop; }
+    if (t_arrive < t) { t = t_arrive; ev = Ev::kArrive; }
+    if (t_flush < t) { t = t_flush; ev = Ev::kFlush; }
+    if (ev == Ev::kNone) break;
+    now = std::max(now, t);
+
+    switch (ev) {
+      case Ev::kComplete:
+        complete_batch(done_target);
+        try_dispatch(false);
+        break;
+      case Ev::kDrop:
+        try_dispatch(false);  // expired-head sweep runs first
+        break;
+      case Ev::kArrive: {
+        const std::size_t idx = next_arrival++;
+        m_offered.add(1);
+        if (pending.size() >= config_.queue_capacity) {
+          RequestRecord& rec = records[idx];
+          rec.outcome = Outcome::kRejected;
+          rec.complete_s = now;
+          ++report.rejected;
+          m_rejected.add(1);
+          if (tr.enabled() && queue_lane >= 0) {
+            tr.instant("serve", "reject", queue_lane, now);
+          }
+        } else {
+          pending.push_back(idx);
+          ++report.accepted;
+          m_accepted.add(1);
+          alloc_slot(idx);
+          sample_depth();
+          try_dispatch(false);
+        }
+        break;
+      }
+      case Ev::kFlush:
+        try_dispatch(true);
+        break;
+      case Ev::kNone:
+        break;
+    }
+  }
+  g_depth.set(0.0);
+
+  if (!records.empty()) {
+    report.first_arrival_s = records.front().request.arrival_s;
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(report.completed));
+    for (const auto& rec : records) {
+      if (rec.outcome == Outcome::kCompleted) {
+        latencies.push_back(rec.latency_s() * 1e3);
+      }
+    }
+    report.p50_ms = util::percentile(latencies, 50.0);
+    report.p95_ms = util::percentile(latencies, 95.0);
+    report.p99_ms = util::percentile(std::move(latencies), 99.0);
+  }
+  report.targets.reserve(states.size());
+  for (const auto& ts : states) report.targets.push_back(ts.stats);
+  if (tr.enabled() && sched_lane >= 0 && !records.empty()) {
+    tr.complete("serve", "serve", sched_lane, report.first_arrival_s,
+                std::max(report.last_complete_s, report.first_arrival_s),
+                {util::TraceArg::num("offered", report.offered),
+                 util::TraceArg::num("completed", report.completed),
+                 util::TraceArg::num("rejected", report.rejected),
+                 util::TraceArg::num("dropped", report.dropped),
+                 util::TraceArg::num("goodput", report.goodput())});
+  }
+  return report;
+}
+
+}  // namespace ncsw::serve

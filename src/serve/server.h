@@ -1,0 +1,173 @@
+// The always-on serving frontend: admission control + dynamic batching
+// + a heterogeneous dispatcher over the paper's Target abstraction.
+//
+// The paper's Section III closes with applications that "run a specific
+// subset of inputs on a GPU, and at the same time another subset on ...
+// several VPUs"; ext_mixed_targets plans that split *offline* with
+// core::plan_partition. This layer is the online generalisation: an
+// open-loop stream of requests flows through
+//
+//   arrivals --> [admission queue] --> [batcher] --> [dispatcher] --> Targets
+//                 bounded, reject      size/timeout   online per-target
+//                 on full; deadline    hybrid flush   throughput EWMA,
+//                 drops                               picks the free
+//                                                     target that clears
+//                                                     work fastest
+//
+// entirely on the simulated clock: the server is a single-threaded
+// discrete-event loop (arrival / batch-completion / flush-timeout /
+// deadline-drop events processed in time order with a fixed tie-break),
+// so a given arrival trace always produces byte-identical results. The
+// feedback estimator replaces plan_partition's one-shot split: when a
+// batch returns slow — e.g. the health machinery quarantined a stick
+// mid-batch — the target's throughput estimate sinks and the dispatcher
+// rebalances the following batches toward the healthy engines.
+//
+// Observability (schemas in docs/architecture.md): serve.* counters and
+// gauges in the metrics registry, and when the tracer is armed, batch
+// spans per target lane, queue instants + a queue-depth counter track,
+// and a per-request lifecycle span (request ⊃ queued + service) on a
+// bounded pool of "serve slot<k>" lanes so spans on every lane nest.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/source.h"
+#include "core/target.h"
+#include "util/metrics.h"
+#include "util/stats.h"
+
+namespace ncsw::serve {
+
+/// One inference request entering the frontend (one image of work).
+struct Request {
+  std::int64_t id = 0;
+  double arrival_s = 0.0;  ///< simulated arrival time (non-decreasing)
+  int label = -1;          ///< optional ground-truth passthrough
+  std::string tag;         ///< stable identifier for traces / joins
+};
+
+/// What became of a request.
+enum class Outcome : int {
+  kCompleted = 0,  ///< served; latency_s() is meaningful
+  kRejected = 1,   ///< bounced at admission (queue full)
+  kDropped = 2,    ///< left the queue past its deadline, or lost in-flight
+};
+
+/// Stable lowercase name ("completed", "rejected", "dropped").
+const char* outcome_name(Outcome o);
+
+/// Per-request lifecycle log entry.
+struct RequestRecord {
+  Request request;
+  Outcome outcome = Outcome::kCompleted;
+  int target = -1;          ///< index into the server's target list, -1 none
+  double dispatch_s = 0.0;  ///< when its batch left the queue
+  double complete_s = 0.0;  ///< batch completion / drop / reject time
+
+  double latency_s() const noexcept { return complete_s - request.arrival_s; }
+  double queue_wait_s() const noexcept {
+    return dispatch_s - request.arrival_s;
+  }
+};
+
+/// Frontend policy knobs.
+struct ServerConfig {
+  /// Admission bound: requests allowed to wait in the queue; an arrival
+  /// finding it full is rejected (clamped to >= 1).
+  std::size_t queue_capacity = 64;
+  /// A request not dispatched within this much simulated time of its
+  /// arrival is dropped from the queue (infinity = never).
+  double queue_deadline_s = std::numeric_limits<double>::infinity();
+  /// Flush a partial batch once its oldest member waited this long.
+  double batch_timeout_s = 0.050;
+  /// Global batch cap, clamped to each target's max_batch() (>= 1).
+  int max_batch = 8;
+  /// EWMA weight of a new completed-batch throughput observation.
+  double estimator_gain = 0.25;
+  /// Assumed img/s for a target with no completed batch yet (free
+  /// unobserved targets are explored first regardless).
+  double prior_tput = 25.0;
+  /// Emit per-request slot-lane spans when the tracer is armed (batch
+  /// spans and queue instants are always emitted when it is).
+  bool trace_requests = true;
+};
+
+/// Per-target serving statistics.
+struct TargetStats {
+  std::string label;  ///< target short name
+  std::int64_t batches = 0;
+  std::int64_t images = 0;
+  double busy_s = 0.0;     ///< total simulated service time
+  double tput_est = 0.0;   ///< final online throughput estimate (img/s)
+  /// Self-healing rollups summed over this target's TimedRuns.
+  std::int64_t images_replayed = 0;
+  std::int64_t images_lost = 0;
+  int sticks_recovered = 0;
+  int sticks_dead = 0;
+};
+
+/// Result of serving one arrival trace.
+struct ServeReport {
+  std::int64_t offered = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t dropped = 0;
+  std::int64_t completed = 0;
+  double first_arrival_s = 0.0;
+  double last_complete_s = 0.0;
+  util::RunningStats latency_ms;  ///< completed requests only
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::size_t max_queue_depth = 0;
+  std::vector<TargetStats> targets;
+  /// Per-request log in arrival order (one entry per offered request).
+  std::vector<RequestRecord> records;
+
+  /// Wall of the simulated run: first arrival to last completion.
+  double makespan_s() const noexcept {
+    return last_complete_s > first_arrival_s
+               ? last_complete_s - first_arrival_s
+               : 0.0;
+  }
+  /// Completed requests per simulated second — the serving metric that
+  /// admission control protects (rejected work costs nothing here).
+  double goodput() const noexcept {
+    const double m = makespan_s();
+    return m > 0.0 ? static_cast<double>(completed) / m : 0.0;
+  }
+};
+
+/// The serving frontend. Owns no targets — callers keep them alive for
+/// the server's lifetime. Not thread-safe (one run at a time).
+class Server {
+ public:
+  Server(std::vector<core::Target*> targets, ServerConfig config = {});
+
+  /// Serve a finite arrival trace (sorted by arrival_s; throws
+  /// std::invalid_argument otherwise) to completion.
+  ServeReport run(const std::vector<Request>& requests);
+
+  /// Pull up to `limit` items (-1 = until exhaustion) from `source`,
+  /// stamping each with the next arrival time from `next_arrival_s`
+  /// (e.g. PoissonArrivals), then serve the trace: Sources produce the
+  /// payloads, the arrival process produces the times.
+  ServeReport run(core::Source& source,
+                  const std::function<double()>& next_arrival_s,
+                  std::int64_t limit = -1);
+
+  const ServerConfig& config() const noexcept { return config_; }
+  std::size_t target_count() const noexcept { return targets_.size(); }
+
+ private:
+  struct TargetState;
+
+  ServerConfig config_;
+  std::vector<core::Target*> targets_;
+};
+
+}  // namespace ncsw::serve

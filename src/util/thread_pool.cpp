@@ -5,6 +5,12 @@
 
 namespace ncsw::util {
 
+namespace {
+// Which pool (if any) owns the current thread. Set once per worker; lets
+// parallel_for detect nested calls from its own workers.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
   workers_.reserve(threads);
@@ -24,7 +30,12 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_current_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -44,6 +55,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (on_worker_thread()) {
+    // Nested call from one of our own workers: the shard tasks would sit
+    // in the queue behind this caller, which blocks on their futures —
+    // with every worker nesting, nobody is left to run a shard. Run the
+    // whole range inline on this thread instead.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::atomic<std::size_t> next{0};
   const std::size_t shards = std::min(n, size());
   std::vector<std::future<void>> futs;

@@ -46,7 +46,13 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
+
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Safe to call from one of the pool's own workers: the shards would
+  /// queue behind the (blocked) caller and deadlock a saturated pool, so
+  /// a nested call runs every index inline on the calling thread instead.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

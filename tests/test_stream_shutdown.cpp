@@ -1,0 +1,189 @@
+// Shutdown regressions for the streaming sources. Each scenario used to
+// hang: StreamSource::next()'s wait predicate ignored stop_, and an
+// MpiStreamSource rank leaving on stop_ skipped the live_producers_
+// decrement the consumer predicate counts on. Blocking calls run under a
+// watchdog future so a regression fails the test instead of wedging the
+// suite (the stuck thread and source are leaked on that path).
+#include "core/source.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+
+namespace {
+
+using namespace std::chrono_literals;
+using ncsw::core::MpiStreamSource;
+using ncsw::core::SourceItem;
+using ncsw::core::StreamSource;
+
+SourceItem make_item(int label) {
+  SourceItem item;
+  item.label = label;
+  item.id = "item" + std::to_string(label);
+  return item;
+}
+
+TEST(StreamShutdown, CloseWakesConsumerBlockedInNext) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // The producer yields nothing until released, so the consumer blocks.
+  auto* src = new StreamSource(
+      [gate]() -> std::optional<SourceItem> {
+        gate.wait();
+        return std::nullopt;
+      },
+      4);
+
+  std::promise<bool> got_value;
+  auto fut = got_value.get_future();
+  std::thread consumer(
+      [&] { got_value.set_value(src->next().has_value()); });
+  std::this_thread::sleep_for(50ms);
+  src->close();
+
+  if (fut.wait_for(5s) != std::future_status::ready) {
+    consumer.detach();
+    release.set_value();
+    FAIL() << "next() still blocked after close()";
+  }
+  EXPECT_FALSE(fut.get());
+  consumer.join();
+  EXPECT_FALSE(src->next().has_value());  // closed stream stays closed
+  release.set_value();
+  delete src;
+}
+
+TEST(StreamShutdown, CloseReleasesProducerBlockedOnBackpressure) {
+  std::atomic<int> produced{0};
+  auto* src = new StreamSource(
+      [&]() -> std::optional<SourceItem> {
+        return make_item(produced.fetch_add(1));
+      },
+      2);
+  // Queue full (2) + one item in the producer's hand = 3 produced.
+  for (int spin = 0; produced.load() < 3 && spin < 500; ++spin) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_GE(produced.load(), 3);
+
+  ASSERT_TRUE(src->next().has_value());
+  src->close();
+  EXPECT_FALSE(src->next().has_value());  // queued items are discarded
+
+  std::promise<void> destroyed;
+  auto fut = destroyed.get_future();
+  std::thread destroyer([&] {
+    delete src;
+    destroyed.set_value();
+  });
+  if (fut.wait_for(5s) != std::future_status::ready) {
+    destroyer.detach();
+    FAIL() << "destructor blocked on a producer stuck in backpressure";
+  }
+  destroyer.join();
+}
+
+TEST(StreamShutdown, ExhaustedStreamStillDrainsThenEnds) {
+  int produced = 0;
+  StreamSource src([&]() -> std::optional<SourceItem> {
+    if (produced >= 3) return std::nullopt;
+    return make_item(produced++);
+  });
+  for (int i = 0; i < 3; ++i) {
+    auto item = src.next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->label, i);
+  }
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(MpiStreamShutdown, CloseWakesConsumerAndEveryBlockedRank) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::vector<MpiStreamSource::Producer> ranks;
+  for (int r = 0; r < 3; ++r) {
+    ranks.push_back([gate]() -> std::optional<SourceItem> {
+      gate.wait();
+      return std::nullopt;
+    });
+  }
+  auto* src = new MpiStreamSource(std::move(ranks), 8);
+
+  std::promise<bool> got_value;
+  auto fut = got_value.get_future();
+  std::thread consumer(
+      [&] { got_value.set_value(src->next().has_value()); });
+  std::this_thread::sleep_for(50ms);
+  src->close();
+
+  if (fut.wait_for(5s) != std::future_status::ready) {
+    consumer.detach();
+    release.set_value();
+    FAIL() << "next() still blocked after close()";
+  }
+  EXPECT_FALSE(fut.get());
+  consumer.join();
+  release.set_value();
+  delete src;
+}
+
+TEST(MpiStreamShutdown, RanksOnBackpressureExitAndDecrementLiveCount) {
+  std::vector<MpiStreamSource::Producer> ranks;
+  std::atomic<int> produced{0};
+  for (int r = 0; r < 2; ++r) {
+    ranks.push_back([&]() -> std::optional<SourceItem> {
+      return make_item(produced.fetch_add(1));
+    });
+  }
+  auto* src = new MpiStreamSource(std::move(ranks), 1);
+  // Capacity 1 with two unbounded ranks: both end up in backpressure.
+  for (int spin = 0; produced.load() < 3 && spin < 500; ++spin) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(src->next().has_value());
+  src->close();
+  EXPECT_FALSE(src->next().has_value());
+
+  std::promise<void> destroyed;
+  auto fut = destroyed.get_future();
+  std::thread destroyer([&] {
+    delete src;
+    destroyed.set_value();
+  });
+  if (fut.wait_for(5s) != std::future_status::ready) {
+    destroyer.detach();
+    FAIL() << "destructor blocked on ranks stuck in backpressure";
+  }
+  destroyer.join();
+}
+
+TEST(MpiStreamShutdown, BackpressureWaitsAreCountedPerReWait) {
+  int produced = 0;
+  std::vector<MpiStreamSource::Producer> ranks;
+  ranks.push_back([&]() -> std::optional<SourceItem> {
+    if (produced >= 5) return std::nullopt;
+    return make_item(produced++);
+  });
+  MpiStreamSource src(std::move(ranks), 1);
+
+  int consumed = 0;
+  while (auto item = src.next()) {
+    EXPECT_EQ(item->label, consumed++);
+    std::this_thread::sleep_for(5ms);  // keep the rank ahead of us
+  }
+  const auto stats = src.stats();
+  EXPECT_EQ(consumed, 5);
+  EXPECT_EQ(stats.produced, 5);
+  EXPECT_EQ(stats.consumed, 5);
+  EXPECT_LE(stats.max_queue_depth, 1u);
+  // With capacity 1 and a slow consumer the rank re-waits repeatedly;
+  // each episode must show up in the stats.
+  EXPECT_GE(stats.producer_waits, 3);
+}
+
+}  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -68,6 +70,47 @@ TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
   std::atomic<int> counter{0};
   pool.parallel_for(3, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, OnWorkerThreadIdentifiesOwnWorkersOnly) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.on_worker_thread());
+  EXPECT_TRUE(pool.submit([&] { return pool.on_worker_thread(); }).get());
+  EXPECT_FALSE(other.submit([&] { return pool.on_worker_thread(); }).get());
+}
+
+// Regression: parallel_for called from a pool worker used to queue its
+// shards behind the (blocked) caller and deadlock a saturated pool.
+TEST(ThreadPool, ParallelForFromWorkerRunsInline) {
+  ThreadPool pool(1);  // the submitting task saturates the pool by itself
+  std::atomic<int> counter{0};
+  auto fut = pool.submit(
+      [&] { pool.parallel_for(8, [&](std::size_t) { counter.fetch_add(1); }); });
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "nested parallel_for deadlocked";
+  fut.get();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForNestedInParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::promise<void> done;
+  auto fut = done.get_future();
+  std::thread driver([&] {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { counter.fetch_add(1); });
+    });
+    done.set_value();
+  });
+  if (fut.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+    driver.detach();
+    FAIL() << "nested parallel_for deadlocked";
+  }
+  driver.join();
+  EXPECT_EQ(counter.load(), 16);
 }
 
 TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
