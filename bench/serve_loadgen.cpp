@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
   cli.add_double("timeout-ms", 50.0, "partial-batch flush timeout");
   cli.add_double("deadline-ms", 250.0,
                  "queue deadline before a request is dropped (0 = never)");
+  cli.add_int("window", 2,
+              "in-flight submissions per target (the async pipeline depth; "
+              "1 = the PR5 blocking dispatcher)");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   bench::setup(cli);
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
   if (cli.get_double("deadline-ms") > 0.0) {
     scfg.queue_deadline_s = cli.get_double("deadline-ms") * 1e-3;
   }
+  scfg.inflight_window = static_cast<int>(cli.get_int("window"));
 
   // Calibrate each engine's standalone batch-8 throughput (fresh targets;
   // the phases below re-create their own so every phase starts from the
@@ -179,6 +183,8 @@ int main(int argc, char** argv) {
   report.config("queue_capacity", static_cast<std::int64_t>(scfg.queue_capacity));
   report.config("max_batch", static_cast<std::int64_t>(scfg.max_batch));
   report.config("batch_timeout_ms", scfg.batch_timeout_s * 1e3);
+  report.config("inflight_window",
+                static_cast<std::int64_t>(scfg.inflight_window));
   report.config("queue_deadline_ms",
                 std::isfinite(scfg.queue_deadline_s)
                     ? scfg.queue_deadline_s * 1e3
@@ -196,6 +202,16 @@ int main(int argc, char** argv) {
     report.value(name + ".p99_ms", r.p99_ms);
     report.value(name + ".max_queue_depth",
                  static_cast<double>(r.max_queue_depth));
+    // Pipeline depth actually reached per target: how much of the
+    // in-flight window the dispatcher used (1 everywhere reproduces the
+    // PR5 blocking dispatcher).
+    for (std::size_t i = 0; i < r.targets.size(); ++i) {
+      const auto& t = r.targets[i];
+      report.value(name + ".inflight.target" + std::to_string(i) + ".window",
+                   static_cast<double>(t.window));
+      report.value(name + ".inflight.target" + std::to_string(i) + ".max",
+                   static_cast<double>(t.max_inflight));
+    }
   }
   report.value("mixed_vs_best_solo", vs_best);
   report.value("replay_identical", replay_identical ? 1.0 : 0.0);

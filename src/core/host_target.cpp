@@ -32,11 +32,8 @@ HostTarget::HostTarget(std::shared_ptr<const ModelBundle> bundle,
   if (max_batch_ < 1) throw std::invalid_argument("HostTarget: max_batch < 1");
 }
 
-TimedRun HostTarget::run_timed(std::int64_t images, int batch) {
-  if (images < 1) throw std::invalid_argument("run_timed: images < 1");
-  if (batch < 1 || batch > max_batch_) {
-    throw std::invalid_argument("run_timed: bad batch for " + short_name_);
-  }
+Target::BatchExec HostTarget::execute_batch(std::int64_t images, int batch,
+                                            double submit_s, bool /*aligned*/) {
   TimedRun run;
   run.images = images;
   std::int64_t remaining = images;
@@ -57,7 +54,15 @@ TimedRun HostTarget::run_timed(std::int64_t images, int batch) {
     for (std::int64_t i = 0; i < n; ++i) run.per_image_ms.add(ms);
     remaining -= n;
   }
-  return run;
+  // The host engine is one serial queue: this submission starts once the
+  // previous one drains (aligned and pipelined paths agree, since the
+  // model carries no cross-batch state beyond the jitter stream).
+  BatchExec exec;
+  exec.run = std::move(run);
+  exec.start_s = std::max(submit_s, next_free_s_);
+  exec.complete_s = exec.start_s + exec.run.seconds;
+  next_free_s_ = exec.complete_s;
+  return exec;
 }
 
 std::vector<Prediction> HostTarget::classify(

@@ -19,12 +19,18 @@ class HostTarget : public Target {
   double tdp_w(int) const override { return model_.tdp_w(); }
   int max_batch() const override { return max_batch_; }
 
-  TimedRun run_timed(std::int64_t images, int batch) override;
   std::vector<Prediction> classify(
       const std::vector<tensor::TensorF>& inputs) override;
 
   /// The underlying analytic model (for tests and tables).
   const devices::HostDeviceModel& model() const noexcept { return model_; }
+
+ protected:
+  /// One batch on the host engine. The engine is a single serial queue:
+  /// a submission starts when the previous one finishes (never before
+  /// its own submit time), so in-flight submissions pipeline FIFO.
+  BatchExec execute_batch(std::int64_t images, int batch, double submit_s,
+                          bool aligned) override;
 
  private:
   std::shared_ptr<const ModelBundle> bundle_;
@@ -33,6 +39,7 @@ class HostTarget : public Target {
   int max_batch_;
   std::uint64_t jitter_seed_;
   std::uint64_t batches_run_ = 0;  // advances the jitter stream
+  double next_free_s_ = 0.0;      // when the serial engine queue drains
 };
 
 /// The paper's CPU target (Caffe-MKL, FP32).

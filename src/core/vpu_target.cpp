@@ -88,16 +88,19 @@ double VpuTarget::tdp_w(int batch) const {
   return myriad::TdpConstants::kNcsStickW * active;
 }
 
-TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
-  if (images < 1) throw std::invalid_argument("run_timed: images < 1");
-  if (batch < 1 || batch > max_batch()) {
-    throw std::invalid_argument("run_timed: bad batch for VPU target");
-  }
+Target::BatchExec VpuTarget::execute_batch(std::int64_t images, int batch,
+                                           double submit_s, bool aligned) {
   const int active = batch;  // the paper couples sticks to batch size
   const double gap = active > 1 ? config_.thread_gap_s : config_.single_gap_s;
 
-  // Align all active sticks on a common start, staggered by thread spawn.
-  double t0 = 0.0;
+  // Align all active sticks on a common start, staggered by thread
+  // spawn — the synchronous runner's barrier, preserved verbatim in
+  // aligned mode so the fig6 goldens stay byte-identical. Pipelined
+  // submissions keep the same barrier (letting sticks free-run
+  // desynchronises their transfers on the shared USB hub and costs
+  // throughput) but additionally floor it at the submission instant, so
+  // a ticket never starts before it was submitted.
+  double t0 = aligned ? 0.0 : submit_s;
   for (int d = 0; d < active; ++d) {
     t0 = std::max(t0, mvnc::host_time(graph_handles_[d]).value_or(0.0));
   }
@@ -383,7 +386,10 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
           .add(assigned[d]);
     }
   }
-  if (tr.enabled()) {
+  // The one-span-per-run "scheduler" lane only makes sense for aligned
+  // runs; pipelined submissions overlap, and the serve dispatcher draws
+  // their ticket spans on its own per-slot lanes instead.
+  if (aligned && tr.enabled()) {
     tr.complete("core", "run_timed", tr.lane("scheduler"), t0, last_completion,
                 {util::TraceArg::num("images", images),
                  util::TraceArg::num("batch", static_cast<std::int64_t>(batch)),
@@ -394,16 +400,17 @@ TimedRun VpuTarget::run_timed(std::int64_t images, int batch) {
                                          : "round-robin")});
   }
   run.seconds = last_completion - t0;
-  return run;
-}
-
-void VpuTarget::advance_clock(double t_s) {
-  if (mvnc::host_generation() != host_generation_) return;
-  for (void* graph : graph_handles_) {
-    if (!graph) continue;
-    const auto now = mvnc::host_time(graph);
-    if (now && *now < t_s) mvnc::set_host_time(graph, t_s);
-  }
+  // Map the execution span onto the caller's submission timeline. The
+  // mvnc cursors live on the device-simulation epoch (which includes
+  // device boot and graph allocation), so completion timestamps are
+  // derived from the span, not read off the cursors: the engine is a
+  // serial queue that picks the batch up when it frees.
+  BatchExec exec;
+  exec.start_s = std::max(submit_s, next_free_s_);
+  exec.complete_s = exec.start_s + run.seconds;
+  next_free_s_ = exec.complete_s;
+  exec.run = std::move(run);
+  return exec;
 }
 
 std::vector<Prediction> VpuTarget::classify(

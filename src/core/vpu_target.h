@@ -77,14 +77,8 @@ class VpuTarget : public Target {
 
   int max_batch() const override { return config_.devices; }
 
-  TimedRun run_timed(std::int64_t images, int batch) override;
   std::vector<Prediction> classify(
       const std::vector<tensor::TensorF>& inputs) override;
-
-  /// Move every stick's host cursor forward to at least `t_s` (never
-  /// backward). No-op after another target's host_reset invalidated the
-  /// handles.
-  void advance_clock(double t_s) override;
 
   /// Per-layer execution times (ms) reported by the NCAPI profiling
   /// option for stick 0.
@@ -96,6 +90,19 @@ class VpuTarget : public Target {
 
   const VpuTargetConfig& config() const noexcept { return config_; }
 
+ protected:
+  /// One batch across `batch` sticks. Both modes gate the active sticks
+  /// on a common start t0 = max(stick cursors) staggered by thread
+  /// spawn; pipelined mode (submit) additionally floors t0 at the
+  /// submission instant. Aligned mode (the run_timed shim) is
+  /// byte-identical to the pre-async run_timed. Completion timestamps
+  /// are mapped onto the caller's clock through a serial engine queue
+  /// (start = max(submit, engine free), complete = start + span): the
+  /// mvnc cursors carry the device-simulation epoch (boot + graph
+  /// allocation), which must not leak into serving timelines.
+  BatchExec execute_batch(std::int64_t images, int batch, double submit_s,
+                          bool aligned) override;
+
  private:
   void open_all();
   void close_all();
@@ -104,6 +111,8 @@ class VpuTarget : public Target {
   VpuTargetConfig config_;
   std::vector<void*> device_handles_;
   std::vector<void*> graph_handles_;
+  /// Caller-clock instant the engine frees (see execute_batch).
+  double next_free_s_ = 0.0;
   /// mvnc host generation our handles belong to. A later host_reset (for
   /// example another VpuTarget's open_all) invalidates every handle, so
   /// close_all must not feed them back into the API.

@@ -18,20 +18,38 @@ const char* outcome_name(Outcome o) {
   return "?";
 }
 
+namespace {
+/// One submitted-but-unretrieved batch (a core::Ticket plus the serve
+/// bookkeeping riding with it).
+struct Flight {
+  core::Ticket ticket;
+  double dispatch_s = 0.0;
+  double complete_s = 0.0;  ///< ticket completion timestamp
+  int wlane = -1;           ///< "serve <label> w<k>" trace slot, -1 none
+  std::vector<std::size_t> inflight;  ///< record indices being served
+};
+}  // namespace
+
 /// Dispatcher-side view of one target.
 struct Server::TargetState {
   core::Target* target = nullptr;
   std::string label;
   int max_batch = 1;
+  int window = 1;
   double tput_est = 0.0;  ///< img/s EWMA
   bool observed = false;  ///< at least one completed batch
-  bool busy = false;
-  double dispatch_s = 0.0;
-  double busy_until = 0.0;
-  core::TimedRun last_run;
-  std::vector<std::size_t> inflight;  ///< record indices being served
-  int lane = -1;
+  bool disabled = false;  ///< a ticket failed; out of rotation
+  std::deque<Flight> flights;  ///< dispatch order
+  /// Free "w<k>" trace-lane slots: a flight takes the lowest free slot
+  /// at dispatch and returns it at completion, so each w-lane carries
+  /// disjoint ticket spans even when flights retire out of order.
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_wlanes;
+  int next_wlane = 0;
   TargetStats stats;
+
+  bool has_slot() const {
+    return !disabled && static_cast<int>(flights.size()) < window;
+  }
 };
 
 Server::Server(std::vector<core::Target*> targets, ServerConfig config)
@@ -55,6 +73,9 @@ Server::Server(std::vector<core::Target*> targets, ServerConfig config)
   }
   if (!(config_.prior_tput > 0.0)) {
     throw std::invalid_argument("Server: prior_tput must be > 0");
+  }
+  if (config_.inflight_window < 0) {
+    throw std::invalid_argument("Server: inflight_window must be >= 0");
   }
 }
 
@@ -106,8 +127,13 @@ ServeReport Server::run(const std::vector<Request>& requests) {
     ts.label = targets_[i]->short_name();
     ts.max_batch =
         std::max(1, std::min(config_.max_batch, targets_[i]->max_batch()));
+    if (config_.inflight_window > 0) {
+      targets_[i]->set_inflight_window(config_.inflight_window);
+    }
+    ts.window = targets_[i]->inflight_window();
     ts.tput_est = config_.prior_tput;
     ts.stats.label = ts.label;
+    ts.stats.window = ts.window;
   }
 
   auto& reg = util::metrics();
@@ -117,19 +143,23 @@ ServeReport Server::run(const std::vector<Request>& requests) {
   util::Counter& m_dropped = reg.counter("serve.dropped");
   util::Counter& m_completed = reg.counter("serve.completed");
   util::Counter& m_batches = reg.counter("serve.batches");
+  util::Counter& m_disabled = reg.counter("serve.targets_disabled");
   util::Gauge& g_depth = reg.gauge("serve.queue_depth");
   util::Histogram& h_batch = reg.histogram(
       "serve.batch_size", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64});
   util::Histogram& h_latency = reg.histogram(
       "serve.latency_ms",
       {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  // Per-target window occupancy (how deep the pipeline actually ran).
+  auto inflight_gauge = [&reg](std::size_t i) -> util::Gauge& {
+    return reg.gauge("serve.inflight.target" + std::to_string(i));
+  };
 
   auto& tr = util::tracer();
   int queue_lane = -1, sched_lane = -1;
   if (tr.enabled()) {
     sched_lane = tr.lane("serve sched");
     queue_lane = tr.lane("serve queue");
-    for (auto& ts : states) ts.lane = tr.lane("serve " + ts.label);
   }
 
   // Per-request trace lanes: a request occupies the lowest free "serve
@@ -202,14 +232,17 @@ ServeReport Server::run(const std::vector<Request>& requests) {
     }
   };
 
-  // Pick the free target expected to clear work fastest: unobserved
-  // targets first (everyone gets explored early), then the highest
-  // throughput estimate; ties resolve to the lowest index, which keeps
-  // the whole schedule deterministic.
-  auto pick_target = [&]() -> int {
+  // Pick the target with a free window slot expected to clear work
+  // fastest: unobserved targets first (everyone gets explored early),
+  // then idle engines before double-buffering a busy one (a batch
+  // committed to a deep window cannot be rebalanced later), then the
+  // highest throughput estimate; ties resolve to the lowest index, which
+  // keeps the whole schedule deterministic.
+  auto pick_target = [&](bool idle_only) -> int {
     int best = -1;
     for (std::size_t i = 0; i < states.size(); ++i) {
-      if (states[i].busy) continue;
+      if (!states[i].has_slot()) continue;
+      if (idle_only && !states[i].flights.empty()) continue;
       const int ci = static_cast<int>(i);
       if (best < 0) {
         best = ci;
@@ -219,8 +252,9 @@ ServeReport Server::run(const std::vector<Request>& requests) {
       const TargetState& c = states[i];
       if (!c.observed && b.observed) {
         best = ci;
-      } else if (c.observed == b.observed && c.tput_est > b.tput_est) {
-        best = ci;
+      } else if (c.observed == b.observed) {
+        const bool c_idle = c.flights.empty(), b_idle = b.flights.empty();
+        if (c_idle != b_idle ? c_idle : c.tput_est > b.tput_est) best = ci;
       }
     }
     return best;
@@ -228,28 +262,49 @@ ServeReport Server::run(const std::vector<Request>& requests) {
 
   auto dispatch = [&](int which, std::size_t n) {
     TargetState& ts = states[static_cast<std::size_t>(which)];
-    ts.inflight.clear();
+    Flight fl;
+    fl.dispatch_s = now;
+    fl.inflight.reserve(n);
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t idx = pending.front();
       pending.pop_front();
       records[idx].dispatch_s = now;
       records[idx].target = which;
-      ts.inflight.push_back(idx);
+      fl.inflight.push_back(idx);
     }
-    ts.target->advance_clock(now);
     const int batch = static_cast<int>(std::min<std::size_t>(
         n, static_cast<std::size_t>(ts.max_batch)));
-    ts.last_run = ts.target->run_timed(static_cast<std::int64_t>(n), batch);
-    ts.busy = true;
-    ts.dispatch_s = now;
-    ts.busy_until = now + ts.last_run.seconds;
+    // Non-blocking hand-off: the ticket's completion timestamp becomes a
+    // future event; the loop keeps dispatching to other slots meanwhile.
+    // A failed execution still yields a ticket (completing "now"); the
+    // wait() at completion surfaces it.
+    fl.ticket = ts.target->submit(static_cast<std::int64_t>(n), batch, now);
+    fl.complete_s = ts.target->info(fl.ticket).complete_s;
+    if (tr.enabled()) {
+      if (ts.free_wlanes.empty()) {
+        fl.wlane = ts.next_wlane++;
+      } else {
+        fl.wlane = ts.free_wlanes.top();
+        ts.free_wlanes.pop();
+      }
+    }
+    ts.flights.push_back(std::move(fl));
+    ts.stats.max_inflight = std::max(
+        ts.stats.max_inflight, static_cast<int>(ts.flights.size()));
+    inflight_gauge(static_cast<std::size_t>(which))
+        .set(static_cast<double>(ts.flights.size()));
     m_batches.add(1);
     h_batch.record(static_cast<double>(n));
     sample_depth();
   };
 
-  // Drop expired heads, then dispatch while a free target has either a
-  // full batch waiting or (on `force` / an aged head) a partial one.
+  // Drop expired heads, then dispatch while a target has a free window
+  // slot and either a full batch waiting or (on `force` / an aged head)
+  // a partial one. Full batches may double-buffer into a busy engine's
+  // spare slots — that is the pipelining win — but partial batches only
+  // go to an idle engine: committed early to a busy one they could
+  // neither grow with later arrivals nor rebalance to whichever engine
+  // actually frees first.
   auto try_dispatch = [&](bool force) {
     for (;;) {
       while (!pending.empty() &&
@@ -258,26 +313,83 @@ ServeReport Server::run(const std::vector<Request>& requests) {
         sample_depth();
       }
       if (pending.empty()) return;
-      const int which = pick_target();
-      if (which < 0) return;
-      const TargetState& ts = states[static_cast<std::size_t>(which)];
-      const auto cap = static_cast<std::size_t>(ts.max_batch);
-      const bool full = pending.size() >= cap;
+      int which = pick_target(/*idle_only=*/false);
+      if (which >= 0) {
+        const auto cap = static_cast<std::size_t>(
+            states[static_cast<std::size_t>(which)].max_batch);
+        if (pending.size() >= cap) {
+          dispatch(which, cap);
+          force = false;
+          continue;
+        }
+      }
       const bool aged = now - head_arrival() >= config_.batch_timeout_s;
-      if (!full && !aged && !force) return;
-      dispatch(which, std::min(pending.size(), cap));
+      if (!aged && !force) return;
+      which = pick_target(/*idle_only=*/true);
+      if (which < 0) return;
+      dispatch(which, pending.size());
       force = false;
     }
   };
 
-  auto complete_batch = [&](int which) {
+  // Drop a flight's requests on the floor (execution failed, or the
+  // ticket was cancelled when its target left rotation).
+  auto drop_flight = [&](const Flight& fl) {
+    for (const std::size_t idx : fl.inflight) {
+      RequestRecord& rec = records[idx];
+      rec.outcome = Outcome::kDropped;
+      rec.complete_s = now;
+      ++report.dropped;
+      m_dropped.add(1);
+      if (tr.enabled()) emit_request_spans(idx, now);
+    }
+  };
+
+  // A ticket failed (e.g. every stick gone without allow_partial): take
+  // the target out of rotation — cancel its outstanding tickets, drop
+  // the affected requests — and keep serving on the remaining targets.
+  // Only when no target is left does the failure propagate to the
+  // caller, as the old blocking dispatcher's did.
+  auto fail_target = [&](int which, std::exception_ptr err) {
     TargetState& ts = states[static_cast<std::size_t>(which)];
-    const core::TimedRun& tr_run = ts.last_run;
-    const double duration = ts.busy_until - ts.dispatch_s;
-    const auto issued = static_cast<std::int64_t>(ts.inflight.size());
-    const std::int64_t ok = std::min<std::int64_t>(tr_run.images, issued);
-    for (std::size_t k = 0; k < ts.inflight.size(); ++k) {
-      const std::size_t idx = ts.inflight[k];
+    for (const Flight& fl : ts.flights) {
+      ts.target->cancel(fl.ticket);
+      drop_flight(fl);
+    }
+    ts.target->cancel_outstanding();
+    ts.flights.clear();
+    ts.disabled = true;
+    m_disabled.add(1);
+    inflight_gauge(static_cast<std::size_t>(which)).set(0.0);
+    const bool any_left = std::any_of(
+        states.begin(), states.end(),
+        [](const TargetState& s) { return !s.disabled; });
+    if (!any_left) std::rethrow_exception(err);
+  };
+
+  auto complete_flight = [&](int which, std::size_t fidx) {
+    TargetState& ts = states[static_cast<std::size_t>(which)];
+    Flight fl = std::move(ts.flights[fidx]);
+    ts.flights.erase(ts.flights.begin() +
+                     static_cast<std::ptrdiff_t>(fidx));
+    core::TimedRun run;
+    try {
+      run = ts.target->wait(fl.ticket);
+    } catch (...) {
+      drop_flight(fl);
+      if (tr.enabled() && fl.wlane >= 0) ts.free_wlanes.push(fl.wlane);
+      fail_target(which, std::current_exception());
+      return;
+    }
+    // The engine's own execution span — not dispatch-to-retrieval, which
+    // under a deep window also counts time queued behind earlier flights
+    // and would sink every estimate at exactly the moment the pipeline
+    // fills.
+    const double duration = run.seconds;
+    const auto issued = static_cast<std::int64_t>(fl.inflight.size());
+    const std::int64_t ok = std::min<std::int64_t>(run.images, issued);
+    for (std::size_t k = 0; k < fl.inflight.size(); ++k) {
+      const std::size_t idx = fl.inflight[k];
       RequestRecord& rec = records[idx];
       rec.complete_s = now;
       if (static_cast<std::int64_t>(k) < ok) {
@@ -299,7 +411,8 @@ ServeReport Server::run(const std::vector<Request>& requests) {
     reg.counter("serve.target" + std::to_string(which) + ".images")
         .add(static_cast<std::uint64_t>(ok));
 
-    // Feedback: fold the observed clearing rate into the estimate. A
+    // Feedback: fold the observed clearing rate (dispatch to retrieval,
+    // including time queued behind earlier flights) into the estimate. A
     // batch slowed by retries/quarantines (or with lost images) sinks the
     // estimate, steering later batches to healthier targets.
     const double observed =
@@ -315,29 +428,47 @@ ServeReport Server::run(const std::vector<Request>& requests) {
     ts.stats.images += ok;
     ts.stats.busy_s += duration;
     ts.stats.tput_est = ts.tput_est;
-    ts.stats.images_replayed += tr_run.images_replayed;
-    ts.stats.images_lost += tr_run.images_lost;
-    ts.stats.sticks_recovered += tr_run.sticks_recovered;
-    ts.stats.sticks_dead = tr_run.sticks_dead;
-    if (tr.enabled() && ts.lane >= 0) {
-      tr.complete("serve", "batch", ts.lane, ts.dispatch_s, now,
-                  {util::TraceArg::num("n", issued),
+    ts.stats.images_replayed += run.images_replayed;
+    ts.stats.images_lost += run.images_lost;
+    ts.stats.sticks_recovered += run.sticks_recovered;
+    ts.stats.sticks_dead = run.sticks_dead;
+    if (tr.enabled() && fl.wlane >= 0) {
+      // The ticket span: one per submission, on the w-lane the flight
+      // held. Lanes are recycled through the free heap, so spans on a
+      // lane are disjoint even when tickets retire out of order.
+      const int lane =
+          tr.lane("serve " + ts.label + " w" + std::to_string(fl.wlane));
+      tr.complete("serve", "ticket", lane, fl.dispatch_s, now,
+                  {util::TraceArg::num(
+                       "ticket", static_cast<std::int64_t>(fl.ticket.id)),
+                   util::TraceArg::num("n", issued),
                    util::TraceArg::num("completed", ok),
                    util::TraceArg::num("tput_obs", observed),
                    util::TraceArg::num("tput_est", ts.tput_est)});
+      ts.free_wlanes.push(fl.wlane);
     }
-    ts.busy = false;
-    ts.inflight.clear();
+    inflight_gauge(static_cast<std::size_t>(which))
+        .set(static_cast<double>(ts.flights.size()));
   };
 
   enum class Ev { kNone, kComplete, kDrop, kArrive, kFlush };
   for (;;) {
+    // Earliest ticket completion across every in-flight submission.
+    // Flights on one target can retire out of dispatch order (a narrow
+    // batch on few sticks can finish before an earlier wide one), so
+    // scan them all; ties resolve to the lowest target index, then the
+    // earliest-dispatched flight — deterministic replay again.
     double t_complete = kInf;
     int done_target = -1;
+    std::size_t done_flight = 0;
     for (std::size_t i = 0; i < states.size(); ++i) {
-      if (states[i].busy && states[i].busy_until < t_complete) {
-        t_complete = states[i].busy_until;
-        done_target = static_cast<int>(i);
+      const auto& flights = states[i].flights;
+      for (std::size_t j = 0; j < flights.size(); ++j) {
+        if (flights[j].complete_s < t_complete) {
+          t_complete = flights[j].complete_s;
+          done_target = static_cast<int>(i);
+          done_flight = j;
+        }
       }
     }
     const double t_arrive = next_arrival < records.size()
@@ -346,10 +477,11 @@ ServeReport Server::run(const std::vector<Request>& requests) {
     double t_drop = kInf, t_flush = kInf;
     if (!pending.empty()) {
       t_drop = head_arrival() + config_.queue_deadline_s;
-      // A flush can only act when some target is free; otherwise the
-      // next completion re-evaluates dispatch anyway.
+      // A flush pushes a partial batch to an idle engine, so it only
+      // schedules when one exists; otherwise the next completion
+      // re-evaluates dispatch anyway.
       for (const auto& ts : states) {
-        if (!ts.busy) {
+        if (!ts.disabled && ts.flights.empty()) {
           t_flush = head_arrival() + config_.batch_timeout_s;
           break;
         }
@@ -370,7 +502,7 @@ ServeReport Server::run(const std::vector<Request>& requests) {
 
     switch (ev) {
       case Ev::kComplete:
-        complete_batch(done_target);
+        complete_flight(done_target, done_flight);
         try_dispatch(false);
         break;
       case Ev::kDrop:

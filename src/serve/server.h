@@ -10,12 +10,13 @@
 //   arrivals --> [admission queue] --> [batcher] --> [dispatcher] --> Targets
 //                 bounded, reject      size/timeout   online per-target
 //                 on full; deadline    hybrid flush   throughput EWMA,
-//                 drops                               picks the free
-//                                                     target that clears
+//                 drops                               submit/poll window
+//                                                     per target, picks
+//                                                     the one that clears
 //                                                     work fastest
 //
 // entirely on the simulated clock: the server is a single-threaded
-// discrete-event loop (arrival / batch-completion / flush-timeout /
+// discrete-event loop (arrival / ticket-completion / flush-timeout /
 // deadline-drop events processed in time order with a fixed tie-break),
 // so a given arrival trace always produces byte-identical results. The
 // feedback estimator replaces plan_partition's one-shot split: when a
@@ -23,11 +24,22 @@
 // mid-batch — the target's throughput estimate sinks and the dispatcher
 // rebalances the following batches toward the healthy engines.
 //
+// The dispatcher pipelines over the async Target API
+// (docs/async-targets.md): each batch becomes a core::Ticket via
+// Target::submit and the event loop advances on ticket completion
+// timestamps, so up to inflight_window batches overlap per target — the
+// serving-side analogue of NCAPI's LoadTensor/GetResult split — instead
+// of the dispatcher blocking on each shard. A target whose ticket fails
+// (every stick gone) has its outstanding tickets cancelled and is taken
+// out of rotation; the failure only propagates once no target is left.
+//
 // Observability (schemas in docs/architecture.md): serve.* counters and
-// gauges in the metrics registry, and when the tracer is armed, batch
-// spans per target lane, queue instants + a queue-depth counter track,
-// and a per-request lifecycle span (request ⊃ queued + service) on a
-// bounded pool of "serve slot<k>" lanes so spans on every lane nest.
+// gauges in the metrics registry (incl. per-target serve.inflight.*
+// window occupancy), and when the tracer is armed, ticket spans on per-
+// window "serve <target> w<k>" lanes, queue instants + a queue-depth
+// counter track, and a per-request lifecycle span (request ⊃ queued +
+// service) on a bounded pool of "serve slot<k>" lanes so spans on every
+// lane nest.
 #pragma once
 
 #include <cstdint>
@@ -96,6 +108,12 @@ struct ServerConfig {
   /// Emit per-request slot-lane spans when the tracer is armed (batch
   /// spans and queue instants are always emitted when it is).
   bool trace_requests = true;
+  /// In-flight window applied to every target at the start of a run
+  /// (Target::set_inflight_window): how many submitted batches may
+  /// overlap per target. 0 = leave each target's own window untouched
+  /// (targets default to 1, i.e. the classic one-batch-per-target
+  /// dispatcher).
+  int inflight_window = 0;
 };
 
 /// Per-target serving statistics.
@@ -103,8 +121,11 @@ struct TargetStats {
   std::string label;  ///< target short name
   std::int64_t batches = 0;
   std::int64_t images = 0;
-  double busy_s = 0.0;     ///< total simulated service time
+  double busy_s = 0.0;     ///< total simulated service time (flights can
+                           ///< overlap, so this may exceed the makespan)
   double tput_est = 0.0;   ///< final online throughput estimate (img/s)
+  int window = 1;          ///< in-flight window the run used
+  int max_inflight = 0;    ///< peak concurrently submitted batches
   /// Self-healing rollups summed over this target's TimedRuns.
   std::int64_t images_replayed = 0;
   std::int64_t images_lost = 0;

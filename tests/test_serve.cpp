@@ -35,13 +35,6 @@ class FakeTarget : public core::Target {
   double tdp_w(int) const override { return 1.0; }
   int max_batch() const override { return max_batch_; }
 
-  core::TimedRun run_timed(std::int64_t images, int) override {
-    ++runs;
-    core::TimedRun run;
-    run.images = images;
-    run.seconds = per_image_s_ * static_cast<double>(images);
-    return run;
-  }
   std::vector<core::Prediction> classify(
       const std::vector<tensor::TensorF>&) override {
     throw std::logic_error("timing-only fake");
@@ -49,10 +42,25 @@ class FakeTarget : public core::Target {
 
   int runs = 0;
 
+ protected:
+  BatchExec execute_batch(std::int64_t images, int, double submit_s,
+                          bool) override {
+    ++runs;
+    BatchExec exec;
+    exec.run.images = images;
+    exec.run.seconds = per_image_s_ * static_cast<double>(images);
+    // Serial engine: a submission starts when the previous one drains.
+    exec.start_s = std::max(submit_s, free_s_);
+    exec.complete_s = exec.start_s + exec.run.seconds;
+    free_s_ = exec.complete_s;
+    return exec;
+  }
+
  private:
   std::string label_;
   double per_image_s_;
   int max_batch_;
+  double free_s_ = 0.0;
 };
 
 std::vector<Request> burst_at(double t, std::int64_t n) {

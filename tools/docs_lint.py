@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Lint the repo's markdown: every intra-repo link must resolve, and
+every fenced code block must name a language.
+
+Scans all tracked *.md files (or the paths given on the command line).
+External links (http/https/mailto) are not fetched; anchors within a
+linked file are checked against its headings.
+
+Exit status: 0 clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(\s*)(```+|~~~+)(.*)$")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root() -> Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True)
+    return Path(out.stdout.strip())
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"],
+        capture_output=True, text=True, check=True, cwd=root)
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> #fragment rule: lowercase, drop everything
+    but word characters / spaces / hyphens, spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    problems: list[str] = []
+    rel = path.relative_to(root)
+    in_fence = False
+    fence_marker = ""
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        fence = FENCE_RE.match(line)
+        if fence:
+            marker, info = fence.group(2), fence.group(3).strip()
+            if not in_fence:
+                in_fence, fence_marker = True, marker[0]
+                if not info:
+                    problems.append(
+                        f"{rel}:{lineno}: fenced code block does not name "
+                        "a language")
+            elif marker[0] == fence_marker:
+                in_fence = False
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            if target.startswith("#"):  # same-file anchor
+                if github_anchor(target[1:]) not in anchors_of(path):
+                    problems.append(
+                        f"{rel}:{lineno}: dangling anchor {target}")
+                continue
+            target_path, _, fragment = target.partition("#")
+            dest = (path.parent / target_path).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{rel}:{lineno}: dangling link {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest):
+                    problems.append(
+                        f"{rel}:{lineno}: dangling anchor #{fragment} "
+                        f"in {target_path}")
+    if in_fence:
+        problems.append(f"{rel}: unterminated fenced code block")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = repo_root()
+    files = ([Path(a).resolve() for a in argv[1:]]
+             if len(argv) > 1 else tracked_markdown(root))
+    problems: list[str] = []
+    for path in files:
+        problems.extend(lint_file(path, root))
+    for p in problems:
+        print(p)
+    print(f"docs-lint: {len(files)} files, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
