@@ -77,6 +77,14 @@ int main(int argc, char** argv) {
               "1 = the PR5 blocking dispatcher)");
   bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  if (cli.get_int("window") < 1) {
+    std::fprintf(stderr,
+                 "serve_loadgen: --window must be >= 1 (got %lld); the "
+                 "dispatcher needs at least one in-flight submission per "
+                 "target\n",
+                 static_cast<long long>(cli.get_int("window")));
+    return 2;
+  }
   bench::setup(cli);
 
   const std::int64_t requests = cli.get_int("requests");
@@ -196,6 +204,12 @@ int main(int argc, char** argv) {
     report.value(name + ".completed", static_cast<double>(r.completed));
     report.value(name + ".rejected", static_cast<double>(r.rejected));
     report.value(name + ".dropped", static_cast<double>(r.dropped));
+    report.value(name + ".drops.deadline",
+                 static_cast<double>(r.dropped_deadline));
+    report.value(name + ".drops.inflight",
+                 static_cast<double>(r.dropped_inflight));
+    report.value(name + ".drops.failover",
+                 static_cast<double>(r.dropped_failover));
     report.value(name + ".goodput", r.goodput());
     report.value(name + ".p50_ms", r.p50_ms);
     report.value(name + ".p95_ms", r.p95_ms);

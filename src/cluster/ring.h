@@ -1,0 +1,97 @@
+// Consistent-hash ring with virtual nodes for cluster request routing.
+//
+// Each serve node contributes `vnodes` points to a ring keyed by
+// hash_mix, and a request's model key hashes to a point on the ring;
+// the first `count` distinct nodes clockwise from that point form the
+// model's replica preference list. Virtual nodes smooth the per-node
+// share of key space, and because the point set depends only on
+// (seed, node, vnode) the mapping survives node failures unchanged: a
+// key's preference list is stable, so failover always lands on the
+// same replica — a prerequisite for deterministic replay.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ncsw::cluster {
+
+class HashRing {
+ public:
+  HashRing(int nodes, int vnodes = 64,
+           std::uint64_t seed = 0x6e637377636c7573ULL) {
+    if (nodes < 1) throw std::invalid_argument("HashRing: nodes must be >= 1");
+    if (vnodes < 1) {
+      throw std::invalid_argument("HashRing: vnodes must be >= 1");
+    }
+    nodes_ = nodes;
+    points_.reserve(static_cast<std::size_t>(nodes) *
+                    static_cast<std::size_t>(vnodes));
+    for (int n = 0; n < nodes; ++n) {
+      const std::uint64_t node_seed =
+          util::hash_mix(seed, static_cast<std::uint64_t>(n));
+      for (int v = 0; v < vnodes; ++v) {
+        points_.push_back(
+            {util::hash_mix(node_seed, static_cast<std::uint64_t>(v)), n});
+      }
+    }
+    std::sort(points_.begin(), points_.end(), [](const Point& a,
+                                                 const Point& b) {
+      return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+    });
+  }
+
+  int nodes() const noexcept { return nodes_; }
+
+  /// Stable, platform-independent key hash: FNV-1a over the key bytes,
+  /// finalized through the avalanche mixer. The finalizer matters —
+  /// raw FNV-1a maps short, near-identical keys ("m0", "m1", ...) to
+  /// near-identical values, which would park an entire model catalogue
+  /// in one arc of the ring with one shared preference list.
+  static std::uint64_t hash_key(std::string_view key) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : key) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 0x100000001b3ULL;
+    }
+    return util::hash_mix(0x9e3779b97f4a7c15ULL, h);
+  }
+
+  /// The first min(count, nodes()) distinct nodes clockwise from
+  /// `key_hash`: the key's replica preference list, most-preferred first.
+  std::vector<int> preference(std::uint64_t key_hash, int count) const {
+    std::vector<int> prefs;
+    const int want = std::min(count, nodes_);
+    if (want < 1) return prefs;
+    prefs.reserve(static_cast<std::size_t>(want));
+    std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(points_.begin(), points_.end(), key_hash,
+                         [](const Point& p, std::uint64_t h) {
+                           return p.hash < h;
+                         }) -
+        points_.begin());
+    for (std::size_t step = 0; step < points_.size(); ++step) {
+      const Point& p = points_[(i + step) % points_.size()];
+      if (std::find(prefs.begin(), prefs.end(), p.node) != prefs.end()) {
+        continue;
+      }
+      prefs.push_back(p.node);
+      if (static_cast<int>(prefs.size()) == want) break;
+    }
+    return prefs;
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int node;
+  };
+  std::vector<Point> points_;
+  int nodes_ = 0;
+};
+
+}  // namespace ncsw::cluster

@@ -44,8 +44,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <limits>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -74,10 +76,23 @@ enum class Outcome : int {
 /// Stable lowercase name ("completed", "rejected", "dropped").
 const char* outcome_name(Outcome o);
 
+/// Why a kDropped request was dropped (kNone otherwise). Admission
+/// rejects are a separate Outcome, not a drop reason.
+enum class DropReason : int {
+  kNone = 0,
+  kDeadline,      ///< aged out of the admission queue (queue_deadline_s)
+  kInflightLost,  ///< lost mid-batch (every stick died under allow_partial)
+  kFailover,      ///< abandoned when its target or node left rotation
+};
+
+/// Stable lowercase name ("none", "deadline", "inflight-lost", "failover").
+const char* drop_reason_name(DropReason r);
+
 /// Per-request lifecycle log entry.
 struct RequestRecord {
   Request request;
   Outcome outcome = Outcome::kCompleted;
+  DropReason drop_reason = DropReason::kNone;
   int target = -1;          ///< index into the server's target list, -1 none
   double dispatch_s = 0.0;  ///< when its batch left the queue
   double complete_s = 0.0;  ///< batch completion / drop / reject time
@@ -140,6 +155,10 @@ struct ServeReport {
   std::int64_t rejected = 0;
   std::int64_t dropped = 0;
   std::int64_t completed = 0;
+  /// `dropped` broken out by DropReason (sums to `dropped`).
+  std::int64_t dropped_deadline = 0;
+  std::int64_t dropped_inflight = 0;
+  std::int64_t dropped_failover = 0;
   double first_arrival_s = 0.0;
   double last_complete_s = 0.0;
   util::RunningStats latency_ms;  ///< completed requests only
@@ -161,6 +180,153 @@ struct ServeReport {
     const double m = makespan_s();
     return m > 0.0 ? static_cast<double>(completed) / m : 0.0;
   }
+};
+
+/// A steppable serving session: the Server event loop's state machine
+/// (admission queue, batcher, EWMA dispatcher, per-request records and
+/// traces) factored out so higher layers can interleave several
+/// sessions on one discrete-event clock. Server::run drives exactly one
+/// session per trace; the cluster router (src/cluster) drives one per
+/// serve node, injecting routed arrivals, fault-mapped completion
+/// times, and failover evictions between events.
+///
+/// The caller owns the clock: it asks the session for its next event
+/// times (next_complete_s / next_drop_s / next_flush_s), picks the
+/// earliest across all its event sources, and invokes the matching
+/// handler with that time. Handlers never move session time backwards.
+/// Driven in the Server's event order with an empty label, no observer
+/// and no completion map, a session is byte-identical (records, traces,
+/// metrics) to the pre-refactor monolithic loop.
+///
+/// Not thread-safe; single use (offer/step until done, then finish()).
+class Session {
+ public:
+  /// Hooks for a routing layer above the session. Callbacks fire from
+  /// inside session methods, so an observer must not call back into the
+  /// session re-entrantly — defer follow-up work (e.g. failover
+  /// replays) until the session call returns.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    /// A request's batch left the queue. `promised_complete_s` is the
+    /// engine's own completion timestamp, before any completion map —
+    /// the basis for deadline-aware hedging.
+    virtual void on_dispatched(const Request& req, double dispatch_s,
+                               double promised_complete_s) {
+      (void)req; (void)dispatch_s; (void)promised_complete_s;
+    }
+    /// A batch retired: `completed` of its requests finished OK.
+    virtual void on_batch_completed(int target, double dispatch_s,
+                                    double complete_s,
+                                    std::int64_t completed) {
+      (void)target; (void)dispatch_s; (void)complete_s; (void)completed;
+    }
+    /// A request reached a terminal state (not fired for evict_all —
+    /// the evicted requests are the return value there).
+    virtual void on_finished(const Request& req, Outcome outcome,
+                             DropReason reason, double at_s) {
+      (void)req; (void)outcome; (void)reason; (void)at_s;
+    }
+  };
+
+  /// Maps an engine-promised ticket completion time to the time the
+  /// session's event loop will observe (identity when empty). The
+  /// cluster uses this to model node wedges: completions promised
+  /// inside a wedge window slip to the window's end.
+  using CompletionMap = std::function<double(double)>;
+
+  /// `label` namespaces observability: metrics become
+  /// "serve.<label>.*" and trace lanes "<label> serve ..." (empty label
+  /// = the Server's classic "serve.*" names). Targets stay caller-owned.
+  Session(std::vector<core::Target*> targets, ServerConfig config,
+          std::string label = {}, Observer* observer = nullptr,
+          CompletionMap completion_map = {});
+  ~Session();  // out of line: TargetState is incomplete here
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Admit one request at time `now`. Returns false when bounced at
+  /// admission (queue full); `force` bypasses the capacity check for
+  /// failover replays that must not bounce.
+  bool offer(const Request& req, double now, bool force = false);
+
+  /// Next event times (+inf when that event class is not scheduled).
+  double next_complete_s() const noexcept;
+  double next_drop_s() const noexcept;
+  double next_flush_s() const noexcept;
+
+  /// Event handlers; call with the time returned by the matching
+  /// next_*_s(). May throw only when every target has failed.
+  void on_complete(double now);
+  void on_drop(double now);
+  void on_flush(double now);
+
+  /// Node failover: cancel every in-flight ticket and drain the queue,
+  /// marking all affected requests kDropped/kFailover at `now`, and
+  /// return them (in-flight first, then queued, both in order) for
+  /// replay elsewhere. Targets stay usable (rejoin resubmits to them).
+  std::vector<Request> evict_all(double now);
+
+  /// Seal the session: final percentiles, per-target stats, scheduler
+  /// span. Call exactly once, after the last event.
+  ServeReport finish();
+
+  bool has_capacity() const noexcept;
+  std::size_t queue_depth() const noexcept { return pending_.size(); }
+  std::size_t inflight() const noexcept;  ///< requests inside tickets
+  bool idle() const noexcept;             ///< nothing queued or in flight
+  bool all_disabled() const noexcept;     ///< every target failed
+  const std::string& label() const noexcept { return label_; }
+
+ private:
+  struct Flight;
+  struct TargetState;
+
+  void bind_observability();
+  std::string mname(const std::string& suffix) const;
+  util::Gauge& inflight_gauge(std::size_t i);
+  void alloc_slot(std::size_t idx);
+  void emit_request_spans(std::size_t idx, double end_s);
+  void sample_depth();
+  double head_arrival() const;
+  void mark_dropped(std::size_t idx, DropReason reason);
+  void drop_head();
+  int pick_target(bool idle_only) const;
+  void dispatch(int which, std::size_t n);
+  void try_dispatch(bool force);
+  void drop_flight(const Flight& fl, DropReason reason);
+  void fail_target(int which, std::exception_ptr err);
+  void complete_flight(int which, std::size_t fidx);
+
+  ServerConfig config_;
+  std::string label_;
+  std::string lane_prefix_;
+  Observer* observer_ = nullptr;
+  CompletionMap map_;
+  std::vector<TargetState> states_;
+  ServeReport report_;
+  std::deque<std::size_t> pending_;
+  double now_ = 0.0;
+
+  util::Counter* m_offered_ = nullptr;
+  util::Counter* m_accepted_ = nullptr;
+  util::Counter* m_rejected_ = nullptr;
+  util::Counter* m_dropped_ = nullptr;
+  util::Counter* m_drop_deadline_ = nullptr;
+  util::Counter* m_drop_inflight_ = nullptr;
+  util::Counter* m_drop_failover_ = nullptr;
+  util::Counter* m_completed_ = nullptr;
+  util::Counter* m_batches_ = nullptr;
+  util::Counter* m_disabled_ = nullptr;
+  util::Gauge* g_depth_ = nullptr;
+  util::Histogram* h_batch_ = nullptr;
+  util::Histogram* h_latency_ = nullptr;
+
+  int queue_lane_ = -1;
+  int sched_lane_ = -1;
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_slots_;
+  int next_slot_ = 0;
+  std::vector<int> slot_of_;
 };
 
 /// The serving frontend. Owns no targets — callers keep them alive for
@@ -185,8 +351,6 @@ class Server {
   std::size_t target_count() const noexcept { return targets_.size(); }
 
  private:
-  struct TargetState;
-
   ServerConfig config_;
   std::vector<core::Target*> targets_;
 };

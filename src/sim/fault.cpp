@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.h"
 
@@ -15,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kGetTimeout: return "get-timeout";
     case FaultKind::kThermalThrottle: return "thermal-throttle";
     case FaultKind::kDetach: return "detach";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeWedge: return "node-wedge";
   }
   return "unknown";
 }
@@ -67,8 +71,28 @@ const FaultEvent* FaultTimeline::next_detach(SimTime t,
   return nullptr;
 }
 
+namespace {
+
+void validate_window(FaultKind kind, SimTime start, SimTime end) {
+  if (!std::isfinite(start) || start < 0.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") +
+                                fault_kind_name(kind) +
+                                " window start must be finite and >= 0, got " +
+                                std::to_string(start));
+  }
+  if (!std::isfinite(end) || end < start) {
+    throw std::invalid_argument(
+        std::string("FaultPlan: ") + fault_kind_name(kind) +
+        " window is inverted or non-finite: [" + std::to_string(start) + ", " +
+        std::to_string(end) + ")");
+  }
+}
+
+}  // namespace
+
 void FaultPlan::add(int device, FaultKind kind, SimTime start,
                     SimTime duration, double magnitude) {
+  validate_window(kind, start, start + duration);
   FaultEvent ev;
   ev.device = device;
   ev.kind = kind;
@@ -76,6 +100,11 @@ void FaultPlan::add(int device, FaultKind kind, SimTime start,
   ev.end = start + duration;
   ev.magnitude = magnitude;
   events_.push_back(ev);
+}
+
+void FaultPlan::add(const FaultEvent& event) {
+  validate_window(event.kind, event.start, event.end);
+  events_.push_back(event);
 }
 
 FaultTimeline FaultPlan::timeline_for(int device) const {

@@ -22,7 +22,10 @@
 
 namespace ncsw::sim {
 
-/// What goes wrong during a fault window.
+/// What goes wrong during a fault window. The first six kinds are
+/// stick-granularity (consumed by `ncs::NcsDevice`); the node-* kinds are
+/// node-granularity (consumed by the cluster layer, `src/cluster`, where
+/// `device` holds a serve-node id instead of a stick id).
 enum class FaultKind : int {
   kUsbTransferError = 0,  ///< input transfer fails (NCAPI: MVNC_ERROR, retryable)
   kUsbStall,              ///< transfers issued in the window start at its end
@@ -30,6 +33,10 @@ enum class FaultKind : int {
   kGetTimeout,            ///< result delivery stalled until the window ends
   kThermalThrottle,       ///< execution stretched by `magnitude` (hard throttle)
   kDetach,                ///< stick off the bus for [start, end); replug after
+  kNodeCrash,             ///< serve node down for [start, end); may rejoin after
+  kNodeWedge,             ///< node runtime wedged: accepts work, completes none
+                          ///< until the window ends (the fault-injection paper's
+                          ///< "whole-runtime hang" failure mode)
 };
 
 /// Stable lowercase name ("usb-error", "detach", ...) for traces/tables.
@@ -74,10 +81,12 @@ class FaultTimeline {
 class FaultPlan {
  public:
   /// Append one window; `duration` must be > 0 for the event to ever
-  /// match (zero-length windows are legal and inert).
+  /// match (zero-length windows are legal and inert). Throws
+  /// std::invalid_argument for non-finite, negative-start, or inverted
+  /// (end < start) windows — those would silently never fire.
   void add(int device, FaultKind kind, SimTime start, SimTime duration,
            double magnitude = 0.0);
-  void add(const FaultEvent& event) { events_.push_back(event); }
+  void add(const FaultEvent& event);
 
   bool empty() const noexcept { return events_.empty(); }
   std::size_t size() const noexcept { return events_.size(); }

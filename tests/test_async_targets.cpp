@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -246,6 +249,54 @@ TEST(AsyncFail, DeadFleetTicketFailsAndWaitRethrows) {
   EXPECT_EQ(vpu.cancel_outstanding(), 1);
   EXPECT_EQ(vpu.poll(t2, 1e9), TicketState::kCancelled);
   EXPECT_EQ(vpu.inflight(), 0);
+}
+
+TEST(AsyncCancel, CancelOutstandingDuringQuarantineReplugIsClean) {
+  // cancel_outstanding() racing a quarantine-triggered replug: a stick
+  // detaches mid-window long enough to quarantine, the caller cancels
+  // the whole window while the health ladder is still probing it back,
+  // and the target must end idle and immediately usable — no wedge, no
+  // half-cancelled ticket resurrected by the replug. Runs under TSan in
+  // CI; the scenario executes on a worker thread behind a watchdog
+  // future so a regression fails the test instead of hanging the suite
+  // (the stuck thread is leaked on that path).
+  std::promise<void> done;
+  auto fut = done.get_future();
+  std::thread worker([&] {
+    VpuTargetConfig cfg;
+    cfg.devices = 2;
+    cfg.health.watchdog_s = 0.25;
+    cfg.faults.add(0, ncsw::sim::FaultKind::kDetach, 0.05, 0.15);
+    VpuTarget vpu(reference(), cfg);
+    vpu.set_inflight_window(4);
+
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 4; ++i) tickets.push_back(vpu.submit(8, 2, 0.0));
+    // Cancel everything that has not already completed; tickets that
+    // raced to completion report themselves completed, never lost.
+    const int cancelled = vpu.cancel_outstanding();
+    EXPECT_GE(cancelled, 0);
+    EXPECT_LE(cancelled, 4);
+    EXPECT_EQ(vpu.inflight(), 0);
+    for (const Ticket& t : tickets) {
+      const TicketState s = vpu.poll(t, 1e9);
+      EXPECT_TRUE(s == TicketState::kCancelled || s == TicketState::kCompleted)
+          << ticket_state_name(s);
+    }
+
+    // The fleet replugs through the health ladder and serves fresh work.
+    const Ticket fresh = vpu.submit(16, 2, 1.0);
+    const TimedRun run = vpu.wait(fresh);
+    EXPECT_EQ(run.images, 16);
+    EXPECT_EQ(vpu.inflight(), 0);
+    done.set_value();
+  });
+
+  if (fut.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+    worker.detach();
+    FAIL() << "cancel_outstanding vs replug deadlocked";
+  }
+  worker.join();
 }
 
 TEST(AsyncFail, QuarantineStormStaysHealthyViaFailover) {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 
 #include "core/health.h"
@@ -56,6 +57,32 @@ TEST(FaultPlan, WindowsAreHalfOpen) {
   EXPECT_NE(tl.active(FaultKind::kBusyStorm, 1.0), nullptr);
   EXPECT_NE(tl.active(FaultKind::kBusyStorm, 1.999), nullptr);
   EXPECT_EQ(tl.active(FaultKind::kBusyStorm, 2.0), nullptr);
+}
+
+TEST(FaultPlan, RejectsMalformedWindowsAtConstruction) {
+  FaultPlan plan;
+  // Negative, non-finite, or inverted windows used to be accepted
+  // silently and then never fire (or fire forever); now they throw
+  // up front, naming the offending window.
+  EXPECT_THROW(plan.add(0, FaultKind::kUsbStall, -1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add(0, FaultKind::kUsbStall, 1.0, -0.5),
+               std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW(plan.add(0, FaultKind::kBusyStorm, nan, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add(0, FaultKind::kBusyStorm, 0.0, nan),
+               std::invalid_argument);
+  sim::FaultEvent inverted;
+  inverted.kind = FaultKind::kNodeCrash;
+  inverted.start = 2.0;
+  inverted.end = 1.0;
+  EXPECT_THROW(plan.add(inverted), std::invalid_argument);
+  EXPECT_TRUE(plan.events().empty());  // nothing partial slipped in
+
+  // Zero-length windows stay legal and inert (half-open [t, t)).
+  plan.add(0, FaultKind::kUsbStall, 1.0, 0.0);
+  EXPECT_EQ(plan.timeline_for(0).active(FaultKind::kUsbStall, 1.0), nullptr);
 }
 
 TEST(FaultPlan, ClearOfChainsBackToBackWindows) {

@@ -150,6 +150,20 @@ TEST(Server, QueueDeadlineDropsStaleRequests) {
   EXPECT_EQ(report.dropped, 1);
   EXPECT_EQ(report.records[1].outcome, Outcome::kDropped);
   EXPECT_DOUBLE_EQ(report.records[1].complete_s, 0.11);
+  // Drops carry their reason: this one aged out of the queue.
+  EXPECT_EQ(report.records[1].drop_reason, serve::DropReason::kDeadline);
+  EXPECT_EQ(report.dropped_deadline, 1);
+  EXPECT_EQ(report.dropped_inflight, 0);
+  EXPECT_EQ(report.dropped_failover, 0);
+  EXPECT_EQ(report.dropped,
+            report.dropped_deadline + report.dropped_inflight +
+                report.dropped_failover);
+  EXPECT_STREQ(serve::drop_reason_name(serve::DropReason::kDeadline),
+               "deadline");
+  EXPECT_STREQ(serve::drop_reason_name(serve::DropReason::kInflightLost),
+               "inflight-lost");
+  EXPECT_STREQ(serve::drop_reason_name(serve::DropReason::kFailover),
+               "failover");
 }
 
 TEST(Server, PartialBatchFlushesOnTimeout) {
@@ -272,6 +286,11 @@ TEST(Server, AccountingIdentityHoldsUnderOverload) {
   EXPECT_GT(report.dropped, 0);
   EXPECT_EQ(report.offered,
             report.completed + report.rejected + report.dropped);
+  // The by-reason breakdown partitions the drop count.
+  EXPECT_EQ(report.dropped,
+            report.dropped_deadline + report.dropped_inflight +
+                report.dropped_failover);
+  EXPECT_EQ(report.dropped_deadline, report.dropped);  // no faults here
   std::int64_t target_images = 0;
   for (const auto& ts : report.targets) target_images += ts.images;
   EXPECT_EQ(target_images, report.completed);
