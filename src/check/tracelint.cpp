@@ -50,6 +50,56 @@ struct LaneState {
   std::deque<double> issued_seqs;  // LoadTensor seqs awaiting GetResult
 };
 
+// Serve-lane key: lanes are "[label ]serve <role>" where role is
+// "sched", "queue", "slot<k>" or "<target> w<k>". `key` gets the label
+// prefix (including its trailing space, empty for the plain Server) so
+// every lane of one session shares a key; `role` gets the part after
+// "serve ". False for non-serve lanes.
+bool serve_key(const std::string& name, std::string* key,
+               std::string* role) {
+  static const std::string kTok = "serve ";
+  std::size_t at;
+  if (name.compare(0, kTok.size(), kTok) == 0) {
+    at = 0;
+  } else {
+    at = name.find(" " + kTok);
+    if (at == std::string::npos) return false;
+    ++at;  // past the separating space
+  }
+  *key = name.substr(0, at);
+  *role = name.substr(at + kTok.size());
+  return !role->empty();
+}
+
+// Per-session rollup for the serve accounting checks, keyed by the
+// session's lane prefix. Counter sums accumulate across summary spans
+// so traces whose phases reuse a label (and therefore its lanes) are
+// still checked in aggregate.
+struct ServeRollup {
+  std::int64_t summaries = 0;      // "serve" summary spans seen
+  std::int64_t offered = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t request_spans = 0;  // per-request slot-lane spans
+  std::int64_t request_completed = 0;  // ... with outcome "completed"
+  std::int64_t ticket_spans = 0;
+  std::int64_t ticket_completed = 0;   // sum of ticket "completed" args
+  double last_ts = 0.0;            // summary-span ts for issue anchoring
+};
+
+// Whole-trace cluster rollup (cluster lanes are unprefixed, so phases
+// in one process share them; the checks therefore run in aggregate).
+struct ClusterRollup {
+  std::int64_t summaries = 0;
+  std::int64_t completed = 0;
+  std::int64_t replayed = 0;
+  std::int64_t hedged = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t replay_instants = 0;
+  std::int64_t hedge_instants = 0;
+  double last_ts = 0.0;
+};
+
 // Timestamps and durations are serialised with %.12g (12 significant
 // digits), so back-to-back spans can disagree by half an ulp of the
 // 12th digit — an error that grows with the magnitude of the simulated
@@ -143,6 +193,11 @@ LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
 
   // Pass 2: walk events in file order (the writer sorts by timestamp).
   std::map<int, LaneState> lanes;
+  std::map<std::string, ServeRollup> serves;
+  ClusterRollup clus;
+  auto as_count = [](double v) {
+    return static_cast<std::int64_t>(std::llround(v));
+  };
   double last_ts = 0.0;
   bool first = true;
   for (const util::JsonValue& ev : events->array) {
@@ -166,6 +221,10 @@ LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
       if (!opts.allow_violations && name.rfind("violation:", 0) == 0) {
         flag("recorded-violation", lane_name(tid), ts,
              "runtime verifier recorded \"" + name + "\"");
+      }
+      if (lane_name(tid) == "cluster events") {
+        if (name == "hedge") ++clus.hedge_instants;
+        if (name == "replay") ++clus.replay_instants;
       }
       std::string key;
       if (name == "gone" && strip_suffix(lane_name(tid), " health", &key)) {
@@ -193,6 +252,67 @@ LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
     const double dur = num_or(ev.find("dur"), 0.0);
     const double end = ts + dur;
     LaneState& lane = lanes[tid];
+
+    // A complete span ending before it starts means a completion was
+    // recorded earlier than its dispatch — broken causality.
+    if (dur < 0.0) {
+      flag("negative-duration", lane_name(tid), ts,
+           "span \"" + name + "\" has dur " + util::JsonWriter::number(dur) +
+               "us: completion precedes dispatch");
+    }
+
+    // Serving-layer accounting rollups, cross-checked after the walk.
+    {
+      std::string skey, role;
+      if (serve_key(lane_name(tid), &skey, &role)) {
+        ServeRollup& sr = serves[skey];
+        if (name == "serve" && role == "sched") {
+          ++sr.summaries;
+          sr.offered += as_count(num_or(ev.at_path({"args", "offered"}), 0));
+          sr.rejected += as_count(num_or(ev.at_path({"args", "rejected"}), 0));
+          sr.completed +=
+              as_count(num_or(ev.at_path({"args", "completed"}), 0));
+          sr.last_ts = ts;
+        } else if (name == "request" && role.rfind("slot", 0) == 0) {
+          ++sr.request_spans;
+          if (str_or(ev.at_path({"args", "outcome"}), "") == "completed") {
+            ++sr.request_completed;
+          }
+        } else if (name == "ticket") {
+          ++sr.ticket_spans;
+          sr.ticket_completed +=
+              as_count(num_or(ev.at_path({"args", "completed"}), 0));
+        }
+      } else if (name == "cluster" && lane_name(tid) == "cluster sched") {
+        ++clus.summaries;
+        const std::int64_t offered =
+            as_count(num_or(ev.at_path({"args", "offered"}), 0));
+        const std::int64_t completed =
+            as_count(num_or(ev.at_path({"args", "completed"}), 0));
+        const std::int64_t rejected =
+            as_count(num_or(ev.at_path({"args", "rejected"}), 0));
+        const std::int64_t deadline =
+            as_count(num_or(ev.at_path({"args", "deadline"}), 0));
+        const std::int64_t lost =
+            as_count(num_or(ev.at_path({"args", "lost"}), 0));
+        clus.completed += completed;
+        clus.replayed += as_count(num_or(ev.at_path({"args", "replayed"}), 0));
+        clus.hedged += as_count(num_or(ev.at_path({"args", "hedged"}), 0));
+        clus.duplicates +=
+            as_count(num_or(ev.at_path({"args", "duplicates"}), 0));
+        clus.last_ts = ts;
+        // Request conservation across node failover: every offered
+        // request leaves exactly one way.
+        if (offered != completed + rejected + deadline + lost) {
+          flag("cluster-conservation", lane_name(tid), ts,
+               "offered " + std::to_string(offered) + " != completed " +
+                   std::to_string(completed) + " + rejected " +
+                   std::to_string(rejected) + " + deadline " +
+                   std::to_string(deadline) + " + lost " +
+                   std::to_string(lost));
+        }
+      }
+    }
 
     // Spans on one lane must nest or be disjoint; partial overlap means
     // a stale host cursor at emission.
@@ -239,6 +359,72 @@ LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
                  " but the oldest outstanding LoadTensor is seq " +
                  util::JsonWriter::number(q.front()));
       }
+    }
+  }
+
+  // v2 accounting checks over the rollups. The per-request and ticket
+  // checks are gated on at least one such span being present: sessions
+  // recorded with trace_requests off (or with the tracer unarmed at
+  // dispatch time) legitimately emit summaries only.
+  std::int64_t serve_completed_total = 0;
+  bool serve_summaries_seen = false;
+  for (const auto& [key, sr] : serves) {
+    if (sr.summaries == 0) continue;
+    serve_summaries_seen = true;
+    serve_completed_total += sr.completed;
+    const std::string lane = key + "serve sched";
+    if (sr.request_spans > 0) {
+      const std::int64_t accepted = sr.offered - sr.rejected;
+      if (sr.request_spans != accepted) {
+        flag("serve-accounting", lane, sr.last_ts,
+             std::to_string(sr.request_spans) +
+                 " request span(s) but the summary admitted " +
+                 std::to_string(accepted) + " (offered " +
+                 std::to_string(sr.offered) + " - rejected " +
+                 std::to_string(sr.rejected) + ")");
+      } else if (sr.request_completed != sr.completed) {
+        flag("serve-accounting", lane, sr.last_ts,
+             std::to_string(sr.request_completed) +
+                 " request span(s) with outcome \"completed\" but the "
+                 "summary completed " +
+                 std::to_string(sr.completed));
+      }
+    }
+    if (sr.ticket_spans > 0 && sr.ticket_completed != sr.completed) {
+      flag("ticket-accounting", lane, sr.last_ts,
+           "ticket spans carry " + std::to_string(sr.ticket_completed) +
+               " completed request(s) but the summary completed " +
+               std::to_string(sr.completed));
+    }
+  }
+  if (clus.summaries > 0) {
+    // Hedge/replay duplicate accounting: every counted hedge or
+    // failover replay leaves its instant on the event lane, and vice
+    // versa. Lanes are shared by every phase in the process, so the
+    // check runs in aggregate.
+    if (clus.hedge_instants != clus.hedged) {
+      flag("cluster-event-mismatch", "cluster events", clus.last_ts,
+           std::to_string(clus.hedge_instants) +
+               " hedge instant(s) but cluster summaries hedged " +
+               std::to_string(clus.hedged));
+    }
+    if (clus.replay_instants != clus.replayed) {
+      flag("cluster-event-mismatch", "cluster events", clus.last_ts,
+           std::to_string(clus.replay_instants) +
+               " replay instant(s) but cluster summaries replayed " +
+               std::to_string(clus.replayed));
+    }
+    // First-completion-wins: node sessions complete every copy they
+    // serve, the cluster delivers each request once and counts the
+    // rest as duplicates.
+    if (serve_summaries_seen &&
+        serve_completed_total != clus.completed + clus.duplicates) {
+      flag("cluster-request-conservation", "cluster sched", clus.last_ts,
+           "node sessions completed " +
+               std::to_string(serve_completed_total) +
+               " request(s) but cluster summaries delivered " +
+               std::to_string(clus.completed) + " + " +
+               std::to_string(clus.duplicates) + " duplicate(s)");
     }
   }
   return report;

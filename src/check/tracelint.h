@@ -1,13 +1,22 @@
 // Offline protocol invariants over a recorded trace file.
 //
-// The runtime verifier (check/protocol.h) watches live mvnc:: calls; the
-// trace lint replays a Chrome trace-event JSON produced by the tracer
-// (util/trace.h, schema ncsw-trace-v1) and re-checks what must hold in
-// the *artifact*: the simulated clock only moves forward, spans on one
-// lane nest properly, and the LoadTensor/GetResult seq numbers on each
-// "dev<N> host" lane pair up FIFO-wise. This catches instrumentation
-// bugs (a span emitted with a stale cursor) and lets CI validate traces
-// from any bench without re-running it. Driven by tools/ncsw_lint.cpp.
+// The runtime verifiers (check/protocol.h, check/serve_check.h) watch
+// live calls; the trace lint replays a Chrome trace-event JSON produced
+// by the tracer (util/trace.h, schema ncsw-trace-v1) and re-checks what
+// must hold in the *artifact*: the simulated clock only moves forward,
+// spans on one lane nest properly, and the LoadTensor/GetResult seq
+// numbers on each "dev<N> host" lane pair up FIFO-wise. On top of the
+// device-lane checks, v2 cross-checks the serving layers: every serve
+// session's request spans must account for its summary-span counters,
+// ticket spans must carry exactly the completed work, spans must never
+// end before they start (completion preceding dispatch), and cluster
+// summary spans must conserve requests across node failover — offered
+// == completed + rejected + deadline + lost, hedge/replay instants
+// matching their counters, and node-session completions summing to the
+// cluster's first-wins completions plus counted duplicates. This
+// catches instrumentation bugs (a span emitted with a stale cursor) and
+// accounting bugs, and lets CI validate traces from any bench without
+// re-running it. Driven by tools/ncsw_lint.cpp.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +32,11 @@ namespace ncsw::check {
 struct LintIssue {
   std::string kind;    ///< stable slug: "bad-schema", "non-monotonic-ts",
                        ///< "span-overlap", "unmatched-complete",
-                       ///< "seq-inversion", "recorded-violation"
+                       ///< "seq-inversion", "recorded-violation",
+                       ///< "negative-duration", "serve-accounting",
+                       ///< "ticket-accounting", "cluster-conservation",
+                       ///< "cluster-event-mismatch",
+                       ///< "cluster-request-conservation"
   std::string lane;    ///< lane (thread) name, empty for file-level issues
   double ts_us = 0.0;  ///< timestamp of the offending event (microseconds)
   std::string detail;

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "check/serve_check.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -121,6 +122,12 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
   const int n_nodes = static_cast<int>(node_targets_.size());
   ClusterReport report;
   HashRing ring(n_nodes, config_.vnodes, config_.ring_seed);
+
+  // The serving verifier (check/serve_check.h) shadows the ledger:
+  // first-completion-wins delivery, live-copy counts, and end-of-run
+  // conservation. Every hook is a no-op in kOff mode.
+  auto& sv = check::serve_verifier();
+  sv.on_cluster_begin();
 
   auto& reg = util::metrics();
   util::Counter& m_offered = reg.counter("cluster.offered");
@@ -346,6 +353,7 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
     for (auto& req : evicted) {
       Ledger& led = ledger[req.id];
       --led.live;
+      if (sv.enabled()) sv.on_ledger_live(req.id, led.live, t);
       if (!led.completed && !led.terminal) {
         led.evicted_s = t;
         replays.push_back({std::move(req), t});
@@ -363,9 +371,13 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
         fins.pop_front();
         Ledger& led = ledger[ev.req.id];
         --led.live;
+        if (sv.enabled()) sv.on_ledger_live(ev.req.id, led.live, t);
         switch (ev.outcome) {
           case serve::Outcome::kCompleted:
             if (!led.completed) {
+              if (sv.enabled()) {
+                sv.on_ledger_deliver(ev.req.id, ev.node, ev.at_s);
+              }
               led.completed = true;
               led.state = RequestState::kCompleted;
               led.finish_s = ev.at_s;
@@ -524,6 +536,69 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
     if (t_arrive < t) { t = t_arrive; ev = Ev::kArrive; }
     if (t_flush < t) { t = t_flush; ev = Ev::kFlush; }
     if (ev == Ev::kNone) break;
+    if (config_.tie_break) {
+      // Determinism fuzzing (check/schedfuzz.h): collect every
+      // (class, node) pair due at exactly t — including same-class ties
+      // on higher node indices the production scan above never
+      // surfaces — and let the hook pick one; the loop re-evaluates
+      // after each event. Index 0 reproduces the fixed order.
+      std::vector<serve::LoopEvent> tied;
+      auto tied_nodes = [&](serve::LoopEventKind kind, auto&& time_of) {
+        for (int i = 0; i < n_nodes; ++i) {
+          if (time_of(nodes[static_cast<std::size_t>(i)]) == t) {
+            tied.push_back({kind, i, t});
+          }
+        }
+      };
+      tied_nodes(serve::LoopEventKind::kComplete, [](const NodeState& ns) {
+        return ns.session->next_complete_s();
+      });
+      tied_nodes(serve::LoopEventKind::kDrop, [](const NodeState& ns) {
+        return ns.session->next_drop_s();
+      });
+      tied_nodes(serve::LoopEventKind::kFault, [](const NodeState& ns) {
+        return ns.fault_cursor < ns.fault_starts.size()
+                   ? ns.fault_starts[ns.fault_cursor].start
+                   : kInf;
+      });
+      tied_nodes(serve::LoopEventKind::kProbe, [](const NodeState& ns) {
+        return ns.health->state() == core::HealthState::kQuarantined
+                   ? ns.health->next_probe_time()
+                   : kInf;
+      });
+      tied_nodes(serve::LoopEventKind::kReady, [](const NodeState& ns) {
+        return ns.rejoin_pending ? ns.ready_s : kInf;
+      });
+      if (t_hedge == t) {
+        tied.push_back({serve::LoopEventKind::kHedge, hedges.top().node, t});
+      }
+      if (t_arrive == t) {
+        tied.push_back({serve::LoopEventKind::kArrive, -1, t});
+      }
+      tied_nodes(serve::LoopEventKind::kFlush, [](const NodeState& ns) {
+        return ns.session->next_flush_s();
+      });
+      const serve::LoopEvent pick =
+          tied[config_.tie_break(t, tied) % tied.size()];
+      switch (pick.kind) {
+        case serve::LoopEventKind::kComplete:
+          ev = Ev::kComplete; n_complete = pick.node; break;
+        case serve::LoopEventKind::kDrop:
+          ev = Ev::kDrop; n_drop = pick.node; break;
+        case serve::LoopEventKind::kFault:
+          ev = Ev::kFault; n_fault = pick.node; break;
+        case serve::LoopEventKind::kProbe:
+          ev = Ev::kProbe; n_probe = pick.node; break;
+        case serve::LoopEventKind::kReady:
+          ev = Ev::kReady; n_ready = pick.node; break;
+        case serve::LoopEventKind::kHedge:
+          ev = Ev::kHedge; break;
+        case serve::LoopEventKind::kArrive:
+          ev = Ev::kArrive; break;
+        case serve::LoopEventKind::kFlush:
+          ev = Ev::kFlush; n_flush = pick.node; break;
+      }
+    }
     now = std::max(now, t);
 
     switch (ev) {
@@ -750,6 +825,12 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
     }
     report.records.push_back(rec);
   }
+  // Crash replays and hedge duplicates are copies of one ledger entry,
+  // so the terminal states must still partition what was admitted.
+  if (sv.enabled()) {
+    sv.on_cluster_finish(report.offered, report.completed, report.rejected,
+                         report.dropped_deadline, report.requests_lost, now);
+  }
   report.p50_ms = util::percentile(latencies, 50.0);
   report.p95_ms = util::percentile(latencies, 95.0);
   report.p99_ms = util::percentile(std::move(latencies), 99.0);
@@ -761,8 +842,12 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
                 std::max(report.last_complete_s, report.first_arrival_s),
                 {util::TraceArg::num("offered", report.offered),
                  util::TraceArg::num("completed", report.completed),
+                 util::TraceArg::num("rejected", report.rejected),
+                 util::TraceArg::num("deadline", report.dropped_deadline),
                  util::TraceArg::num("replayed", report.requests_replayed),
                  util::TraceArg::num("hedged", report.requests_hedged),
+                 util::TraceArg::num("duplicates",
+                                     report.duplicate_completions),
                  util::TraceArg::num("lost", report.requests_lost),
                  util::TraceArg::num("goodput", report.goodput())});
   }

@@ -89,6 +89,12 @@ struct ClusterConfig {
   sim::FaultPlan faults;
   /// Emit per-request slot spans inside each node's session.
   bool trace_requests = true;
+  /// Same-timestamp event-order perturbation hook for the determinism
+  /// fuzzer (check/schedfuzz.h). Leave empty in production: the loop
+  /// then runs its fixed tie-break (complete < drop < fault < probe <
+  /// ready < hedge < arrive < flush, then node index) byte-identically.
+  /// Applies to the cluster loop itself, not `node.tie_break`.
+  serve::TieBreak tie_break;
 };
 
 /// How one request left the cluster.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/serve_check.h"
+
 namespace ncsw::core {
 
 const char* ticket_state_name(TicketState s) {
@@ -58,6 +60,12 @@ Ticket Target::submit_impl(std::int64_t images, int batch, double submit_s,
 
   const Ticket t{next_ticket_++};
   tickets_.emplace(t.id, std::move(rec));
+  // The verifier shadows the accepted submission (a window-full submit
+  // threw above — that is legal backpressure, not a violation).
+  auto& sv = check::serve_verifier();
+  if (sv.enabled()) {
+    sv.on_submit(this, short_name(), t.id, inflight(), window_, submit_s);
+  }
   return t;
 }
 
@@ -75,6 +83,13 @@ TicketState Target::poll(Ticket t, double now_s) const {
   for (const auto& [id, info] : retired_) {
     if (id == t.id) return info.state;
   }
+  // Evicted from the retired ring, or never issued here: a defined
+  // error either way — stale ticket state is never served. In strict
+  // mode the verifier's ServeViolationError pre-empts the throw below.
+  auto& sv = check::serve_verifier();
+  if (sv.enabled()) {
+    sv.on_poll_miss(this, short_name(), t.id, next_ticket_ - 1, now_s);
+  }
   throw std::out_of_range("poll: unknown ticket " + std::to_string(t.id));
 }
 
@@ -83,18 +98,30 @@ TicketInfo Target::info(Ticket t) const {
   for (const auto& [id, info] : retired_) {
     if (id == t.id) return info;
   }
+  auto& sv = check::serve_verifier();
+  if (sv.enabled()) {
+    sv.on_poll_miss(this, short_name(), t.id, next_ticket_ - 1, horizon_s_);
+  }
   throw std::out_of_range("info: unknown ticket " + std::to_string(t.id));
 }
 
 TimedRun Target::wait(Ticket t) {
   const auto it = tickets_.find(t.id);
   if (it == tickets_.end()) {
+    auto& sv = check::serve_verifier();
     for (const auto& [id, info] : retired_) {
       if (id == t.id) {
+        if (sv.enabled()) {
+          sv.on_wait_retired(this, short_name(), t.id,
+                             ticket_state_name(info.state), horizon_s_);
+        }
         throw std::logic_error(std::string("wait: ticket ") +
                                std::to_string(t.id) + " already " +
                                ticket_state_name(info.state));
       }
+    }
+    if (sv.enabled()) {
+      sv.on_wait_miss(this, short_name(), t.id, next_ticket_ - 1, horizon_s_);
     }
     throw std::out_of_range("wait: unknown ticket " + std::to_string(t.id));
   }
@@ -109,7 +136,16 @@ TimedRun Target::wait(Ticket t) {
 }
 
 bool Target::cancel(Ticket t) {
-  if (tickets_.find(t.id) == tickets_.end()) return false;
+  if (tickets_.find(t.id) == tickets_.end()) {
+    // Cancelling a retired ticket is the documented drain idiom; only
+    // an id this target never issued is a caller bug.
+    auto& sv = check::serve_verifier();
+    if (sv.enabled()) {
+      sv.on_cancel_miss(this, short_name(), t.id, next_ticket_ - 1,
+                        horizon_s_);
+    }
+    return false;
+  }
   retire(t.id, TicketState::kCancelled);
   return true;
 }

@@ -5,9 +5,24 @@
 #include <queue>
 #include <stdexcept>
 
+#include "check/serve_check.h"
 #include "util/trace.h"
 
 namespace ncsw::serve {
+
+const char* loop_event_kind_name(LoopEventKind kind) {
+  switch (kind) {
+    case LoopEventKind::kComplete: return "complete";
+    case LoopEventKind::kDrop:     return "drop";
+    case LoopEventKind::kFault:    return "fault";
+    case LoopEventKind::kProbe:    return "probe";
+    case LoopEventKind::kReady:    return "ready";
+    case LoopEventKind::kHedge:    return "hedge";
+    case LoopEventKind::kArrive:   return "arrive";
+    case LoopEventKind::kFlush:    return "flush";
+  }
+  return "?";
+}
 
 const char* outcome_name(Outcome o) {
   switch (o) {
@@ -166,6 +181,7 @@ util::Gauge& Session::inflight_gauge(std::size_t i) {
 void Session::alloc_slot(std::size_t idx) {
   auto& tr = util::tracer();
   if (!tr.enabled() || !config_.trace_requests) return;
+  slot_claim_s_[idx] = now_;
   int slot;
   if (free_slots_.empty()) {
     slot = next_slot_++;
@@ -181,7 +197,7 @@ void Session::emit_request_spans(std::size_t idx, double end_s) {
   if (slot < 0) return;
   auto& tr = util::tracer();
   const RequestRecord& rec = report_.records[idx];
-  const double a = rec.request.arrival_s;
+  const double a = std::max(rec.request.arrival_s, slot_claim_s_[idx]);
   const int lane =
       tr.lane(lane_prefix_ + "serve slot" + std::to_string(slot));
   tr.complete("serve.req", "request", lane, a, end_s,
@@ -495,6 +511,7 @@ bool Session::offer(const Request& req, double now, bool force) {
   rec.request = req;
   report_.records.push_back(std::move(rec));
   slot_of_.push_back(-1);
+  slot_claim_s_.push_back(now_);
   ++report_.offered;
   m_offered_->add(1);
   if (!force && pending_.size() >= config_.queue_capacity) {
@@ -617,6 +634,18 @@ std::vector<Request> Session::evict_all(double now) {
 
 ServeReport Session::finish() {
   g_depth_->set(0.0);
+  // Request conservation: every offered request must hold exactly one
+  // terminal outcome now. evict_all / drops / completions all route
+  // through the record bookkeeping, so anything unaccounted here is a
+  // loop bug, not a policy decision.
+  auto& sv = check::serve_verifier();
+  if (sv.enabled()) {
+    sv.on_session_finish(
+        label_, report_.offered, report_.rejected, report_.completed,
+        report_.dropped, report_.dropped_deadline, report_.dropped_inflight,
+        report_.dropped_failover,
+        static_cast<std::int64_t>(pending_.size() + inflight()), now_);
+  }
   auto& records = report_.records;
   if (!records.empty()) {
     report_.first_arrival_s = records.front().request.arrival_s;
@@ -730,6 +759,22 @@ ServeReport Server::run(const std::vector<Request>& requests) {
     if (t_arrive < t) { t = t_arrive; ev = Ev::kArrive; }
     if (t_flush < t) { t = t_flush; ev = Ev::kFlush; }
     if (ev == Ev::kNone) break;
+    if (config_.tie_break) {
+      // Determinism fuzzing (check/schedfuzz.h): expose every event
+      // class due at exactly t and let the hook pick the one to process
+      // this iteration; index 0 is the fixed order above.
+      std::vector<LoopEvent> tied;
+      if (t_complete == t) tied.push_back({LoopEventKind::kComplete, 0, t});
+      if (t_drop == t) tied.push_back({LoopEventKind::kDrop, 0, t});
+      if (t_arrive == t) tied.push_back({LoopEventKind::kArrive, 0, t});
+      if (t_flush == t) tied.push_back({LoopEventKind::kFlush, 0, t});
+      switch (tied[config_.tie_break(t, tied) % tied.size()].kind) {
+        case LoopEventKind::kComplete: ev = Ev::kComplete; break;
+        case LoopEventKind::kDrop:     ev = Ev::kDrop; break;
+        case LoopEventKind::kArrive:   ev = Ev::kArrive; break;
+        default:                       ev = Ev::kFlush; break;
+      }
+    }
     now = std::max(now, t);
 
     switch (ev) {

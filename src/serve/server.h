@@ -88,6 +88,41 @@ enum class DropReason : int {
 /// Stable lowercase name ("none", "deadline", "inflight-lost", "failover").
 const char* drop_reason_name(DropReason r);
 
+/// The event classes the serving event loops arbitrate between. The
+/// Server loop uses the first two plus kArrive/kFlush; the cluster loop
+/// (src/cluster) uses all of them. Listed in each loop's fixed
+/// tie-break priority order.
+enum class LoopEventKind : int {
+  kComplete = 0,
+  kDrop,
+  kFault,
+  kProbe,
+  kReady,
+  kHedge,
+  kArrive,
+  kFlush,
+};
+
+/// Stable lowercase name ("complete", "drop", "fault", ...).
+const char* loop_event_kind_name(LoopEventKind kind);
+
+/// One candidate event at the time an event loop is about to process.
+/// `node` is the cluster node index (0 in the single-session Server).
+struct LoopEvent {
+  LoopEventKind kind = LoopEventKind::kComplete;
+  int node = 0;
+  double t = 0.0;
+};
+
+/// Schedule-perturbation hook (check/schedfuzz.h): when several events
+/// are due at exactly the same timestamp, the loop collects them all
+/// (in its fixed priority order) and asks the hook which to process
+/// next; the loop re-evaluates after each event. Index 0 reproduces the
+/// fixed order. An empty hook keeps the production single-pass scan —
+/// byte-identical behaviour and no per-iteration allocation.
+using TieBreak =
+    std::function<std::size_t(double t, const std::vector<LoopEvent>& tied)>;
+
 /// Per-request lifecycle log entry.
 struct RequestRecord {
   Request request;
@@ -129,6 +164,11 @@ struct ServerConfig {
   /// (targets default to 1, i.e. the classic one-batch-per-target
   /// dispatcher).
   int inflight_window = 0;
+  /// Same-timestamp event-order perturbation hook for the determinism
+  /// fuzzer (check/schedfuzz.h). Leave empty in production: the loop
+  /// then runs its fixed tie-break (complete < drop < arrive < flush)
+  /// byte-identically.
+  TieBreak tie_break;
 };
 
 /// Per-target serving statistics.
@@ -327,6 +367,11 @@ class Session {
   std::priority_queue<int, std::vector<int>, std::greater<>> free_slots_;
   int next_slot_ = 0;
   std::vector<int> slot_of_;
+  /// When each request claimed its slot lane (admission time). Request
+  /// spans start here, not at arrival_s: a failover replay keeps its
+  /// original arrival, which may predate the recycled lane's previous
+  /// span — spans on a slot lane must stay disjoint.
+  std::vector<double> slot_claim_s_;
 };
 
 /// The serving frontend. Owns no targets — callers keep them alive for

@@ -527,6 +527,191 @@ TEST_F(LintTest, GoneInstantCountsQueuedResultsAsLost) {
   EXPECT_EQ(report.pairs, 0u);
 }
 
+// ---- trace lint v2: serving-layer accounting ------------------------------
+
+namespace lintv2 {
+
+/// A consistent serve session: 3 offered = 2 completed + 1 rejected,
+/// two request spans (both drawn while the ticket spans carry the two
+/// completions).
+void emit_serve_session(const std::string& prefix) {
+  auto& t = util::tracer();
+  const int sched = t.lane(prefix + "serve sched");
+  const int slot0 = t.lane(prefix + "serve slot0");
+  const int w0 = t.lane(prefix + "serve T w0");
+  t.complete("serve.req", "request", slot0, 0.00, 0.40,
+             {util::TraceArg::num("id", std::int64_t{0}),
+              util::TraceArg::str("outcome", "completed")});
+  t.complete("serve.req", "request", slot0, 0.50, 0.90,
+             {util::TraceArg::num("id", std::int64_t{2}),
+              util::TraceArg::str("outcome", "completed")});
+  t.complete("serve", "ticket", w0, 0.05, 0.40,
+             {util::TraceArg::num("ticket", std::int64_t{1}),
+              util::TraceArg::num("n", std::int64_t{1}),
+              util::TraceArg::num("completed", std::int64_t{1})});
+  t.complete("serve", "ticket", w0, 0.55, 0.90,
+             {util::TraceArg::num("ticket", std::int64_t{2}),
+              util::TraceArg::num("n", std::int64_t{1}),
+              util::TraceArg::num("completed", std::int64_t{1})});
+  t.complete("serve", "serve", sched, 0.0, 1.0,
+             {util::TraceArg::num("offered", std::int64_t{3}),
+              util::TraceArg::num("completed", std::int64_t{2}),
+              util::TraceArg::num("rejected", std::int64_t{1}),
+              util::TraceArg::num("dropped", std::int64_t{0})});
+}
+
+}  // namespace lintv2
+
+TEST_F(LintTest, AcceptsConsistentServeSession) {
+  lintv2::emit_serve_session("");
+  const auto report = lint(util::tracer().to_json());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(LintTest, FlagsRequestSpanCountMismatch) {
+  auto& t = util::tracer();
+  lintv2::emit_serve_session("");
+  // A third request span with no matching admission in the summary.
+  t.complete("serve.req", "request", t.lane("serve slot1"), 0.10, 0.20,
+             {util::TraceArg::num("id", std::int64_t{9}),
+              util::TraceArg::str("outcome", "completed")});
+  EXPECT_TRUE(has_issue(lint(t.to_json()), "serve-accounting"));
+}
+
+TEST_F(LintTest, FlagsRequestOutcomeMismatch) {
+  auto& t = util::tracer();
+  const int sched = t.lane("serve sched");
+  const int slot0 = t.lane("serve slot0");
+  // Two admitted spans but only one marked completed against a summary
+  // claiming two completions.
+  t.complete("serve.req", "request", slot0, 0.00, 0.40,
+             {util::TraceArg::num("id", std::int64_t{0}),
+              util::TraceArg::str("outcome", "completed")});
+  t.complete("serve.req", "request", slot0, 0.50, 0.90,
+             {util::TraceArg::num("id", std::int64_t{1}),
+              util::TraceArg::str("outcome", "dropped")});
+  t.complete("serve", "serve", sched, 0.0, 1.0,
+             {util::TraceArg::num("offered", std::int64_t{2}),
+              util::TraceArg::num("completed", std::int64_t{2}),
+              util::TraceArg::num("rejected", std::int64_t{0}),
+              util::TraceArg::num("dropped", std::int64_t{0})});
+  EXPECT_TRUE(has_issue(lint(t.to_json()), "serve-accounting"));
+}
+
+TEST_F(LintTest, FlagsTicketCompletionMismatch) {
+  auto& t = util::tracer();
+  const int sched = t.lane("serve sched");
+  const int w0 = t.lane("serve T w0");
+  // The ticket spans carry 3 completions; the summary admits only 2.
+  t.complete("serve", "ticket", w0, 0.05, 0.40,
+             {util::TraceArg::num("ticket", std::int64_t{1}),
+              util::TraceArg::num("n", std::int64_t{3}),
+              util::TraceArg::num("completed", std::int64_t{3})});
+  t.complete("serve", "serve", sched, 0.0, 1.0,
+             {util::TraceArg::num("offered", std::int64_t{3}),
+              util::TraceArg::num("completed", std::int64_t{2}),
+              util::TraceArg::num("rejected", std::int64_t{1}),
+              util::TraceArg::num("dropped", std::int64_t{0})});
+  EXPECT_TRUE(has_issue(lint(t.to_json()), "ticket-accounting"));
+}
+
+TEST_F(LintTest, FlagsNegativeDuration) {
+  // The tracer itself clamps end < start, so a completion-precedes-
+  // dispatch span can only reach the linter from a hand-edited or
+  // foreign trace — feed raw JSON.
+  const std::string text =
+      "{\"otherData\":{\"schema\":\"ncsw-trace-v1\",\"clock\":\"simulated\"},"
+      "\"traceEvents\":[{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+      "\"tid\":1,\"args\":{\"name\":\"serve T w0\"}},"
+      "{\"ph\":\"X\",\"cat\":\"serve\",\"name\":\"ticket\",\"pid\":1,"
+      "\"tid\":1,\"ts\":500000,\"dur\":-100000}]}";
+  const auto report = lint(text);
+  EXPECT_TRUE(has_issue(report, "negative-duration"));
+  EXPECT_FALSE(has_issue(report, "bad-schema"));
+}
+
+// ---- trace lint v2: cluster conservation ----------------------------------
+
+namespace lintv2 {
+
+struct ClusterCounts {
+  std::int64_t offered = 4, completed = 2, rejected = 1, deadline = 0,
+               lost = 1, replayed = 1, hedged = 1, duplicates = 1;
+  int replay_instants = 1, hedge_instants = 1;
+  std::int64_t node_completed[2] = {2, 1};  // 3 = completed + duplicates
+};
+
+/// A consistent cluster run: 4 offered = 2 completed + 1 rejected +
+/// 0 deadline + 1 lost; node sessions completed 2 + 1 = cluster 2
+/// delivered + 1 duplicate.
+void emit_cluster(const ClusterCounts& c) {
+  auto& t = util::tracer();
+  const int sched = t.lane("cluster sched");
+  const int events = t.lane("cluster events");
+  for (int i = 0; i < c.replay_instants; ++i) {
+    t.instant("cluster", "replay", events, 0.30);
+  }
+  for (int i = 0; i < c.hedge_instants; ++i) {
+    t.instant("cluster", "hedge", events, 0.40);
+  }
+  for (int n = 0; n < 2; ++n) {
+    const std::string prefix = "n" + std::to_string(n) + " ";
+    t.complete("serve", "serve", t.lane(prefix + "serve sched"), 0.0, 1.0,
+               {util::TraceArg::num("offered", c.node_completed[n]),
+                util::TraceArg::num("completed", c.node_completed[n]),
+                util::TraceArg::num("rejected", std::int64_t{0}),
+                util::TraceArg::num("dropped", std::int64_t{0})});
+  }
+  t.complete("cluster", "cluster", sched, 0.0, 1.0,
+             {util::TraceArg::num("offered", c.offered),
+              util::TraceArg::num("completed", c.completed),
+              util::TraceArg::num("rejected", c.rejected),
+              util::TraceArg::num("deadline", c.deadline),
+              util::TraceArg::num("replayed", c.replayed),
+              util::TraceArg::num("hedged", c.hedged),
+              util::TraceArg::num("duplicates", c.duplicates),
+              util::TraceArg::num("lost", c.lost)});
+}
+
+}  // namespace lintv2
+
+TEST_F(LintTest, AcceptsConsistentClusterRun) {
+  lintv2::emit_cluster({});
+  const auto report = lint(util::tracer().to_json());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(LintTest, FlagsClusterConservationBreak) {
+  lintv2::ClusterCounts c;
+  c.lost = 0;  // 4 offered but only 3 accounted
+  lintv2::emit_cluster(c);
+  EXPECT_TRUE(has_issue(lint(util::tracer().to_json()),
+                        "cluster-conservation"));
+}
+
+TEST_F(LintTest, FlagsHedgeAndReplayInstantMismatches) {
+  lintv2::ClusterCounts c;
+  c.hedge_instants = 0;  // summary hedged 1, no instant on the lane
+  lintv2::emit_cluster(c);
+  EXPECT_TRUE(has_issue(lint(util::tracer().to_json()),
+                        "cluster-event-mismatch"));
+
+  util::tracer().reset();
+  lintv2::ClusterCounts c2;
+  c2.replay_instants = 2;  // one more replay instant than counted
+  lintv2::emit_cluster(c2);
+  EXPECT_TRUE(has_issue(lint(util::tracer().to_json()),
+                        "cluster-event-mismatch"));
+}
+
+TEST_F(LintTest, FlagsNodeCompletionsNotConservedAcrossCluster) {
+  lintv2::ClusterCounts c;
+  c.node_completed[1] = 2;  // nodes completed 4 != 2 delivered + 1 dup
+  lintv2::emit_cluster(c);
+  EXPECT_TRUE(has_issue(lint(util::tracer().to_json()),
+                        "cluster-request-conservation"));
+}
+
 TEST_F(LintTest, RecordedViolationsFlaggedUnlessAllowed) {
   auto& t = util::tracer();
   t.instant("check", "violation:over-issue", t.lane("dev0 check"), 0.01);
