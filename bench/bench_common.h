@@ -83,7 +83,12 @@ class BenchReport {
   explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
 
   /// Clock the report's timings were taken on: "simulated" (default) or
-  /// "wall" for host-side performance harnesses.
+  /// "wall" for host-side performance harnesses. The rule, which CI
+  /// enforces by sweeping the bench sources: every figure/ablation
+  /// harness runs on the simulated clock and must NOT call this; a
+  /// harness that times real host execution (bench/perf_forward is the
+  /// only one) must call set_clock("wall") so report consumers never
+  /// compare wall seconds against simulated seconds.
   void set_clock(std::string clock) { clock_ = std::move(clock); }
 
   /// Record a configuration knob (shows up under "config").

@@ -129,10 +129,14 @@ int main(int argc, char** argv) {
   std::vector<Phase> phases;
   std::string mixed_fp, replay_fp;
   double mixed_goodput = 0.0, best_solo_goodput = 0.0;
+  double mixed_p99 = 0.0, mixed_fast_p99 = 0.0;
 
-  // "cpu" / "gpu" / "vpu" solo, then "mixed", then "replay" of mixed.
-  const std::vector<std::string> phase_names{"solo-cpu", "solo-gpu",
-                                             "solo-vpu", "mixed", "replay"};
+  // "cpu" / "gpu" / "vpu" solo, then "mixed", a "replay" of mixed, and
+  // "mixed-fast" — the same targets and trace with the host targets
+  // opted into the fast tier (docs/performance.md), so the table shows
+  // what the fused/quantized kernels buy an online service end to end.
+  const std::vector<std::string> phase_names{
+      "solo-cpu", "solo-gpu", "solo-vpu", "mixed", "replay", "mixed-fast"};
   for (const auto& name : phase_names) {
     util::tracer().set_lane_prefix(name + " ");
     auto cpu = core::make_cpu_target(bundle);
@@ -142,8 +146,12 @@ int main(int argc, char** argv) {
     if (name == "solo-cpu") targets = {cpu.get()};
     if (name == "solo-gpu") targets = {gpu.get()};
     if (name == "solo-vpu") targets = {&vpu};
-    if (name == "mixed" || name == "replay") {
+    if (name == "mixed" || name == "replay" || name == "mixed-fast") {
       targets = {cpu.get(), gpu.get(), &vpu};
+    }
+    if (name == "mixed-fast") {
+      cpu->set_fast(true);
+      gpu->set_fast(true);
     }
     serve::Server server(targets, scfg);
     const auto trace = make_trace(requests, rate, seed);
@@ -151,8 +159,11 @@ int main(int argc, char** argv) {
     if (name == "mixed") {
       mixed_fp = fingerprint(phase.report);
       mixed_goodput = phase.report.goodput();
+      mixed_p99 = phase.report.p99_ms;
     } else if (name == "replay") {
       replay_fp = fingerprint(phase.report);
+    } else if (name == "mixed-fast") {
+      mixed_fast_p99 = phase.report.p99_ms;
     } else {
       best_solo_goodput = std::max(best_solo_goodput, phase.report.goodput());
     }
@@ -177,11 +188,16 @@ int main(int argc, char** argv) {
   bench::emit(table, cli);
 
   const double vs_best = mixed_goodput / best_solo_goodput;
+  const double fast_p99_cut_ms = mixed_p99 - mixed_fast_p99;
   std::cout << "\nheterogeneous dispatch sustains "
             << util::Table::num(mixed_goodput, 1) << " req/s goodput — "
             << util::Table::num(vs_best, 2)
             << "x the best solo target under the same offered load; replay "
-            << (replay_identical ? "is" : "IS NOT") << " bit-identical.\n";
+            << (replay_identical ? "is" : "IS NOT")
+            << " bit-identical; the fast host tier cuts p99 by "
+            << util::Table::num(fast_p99_cut_ms, 1) << " ms ("
+            << util::Table::num(mixed_p99, 1) << " -> "
+            << util::Table::num(mixed_fast_p99, 1) << ").\n";
 
   bench::BenchReport report("serve_loadgen");
   report.config("requests", requests);
@@ -229,6 +245,7 @@ int main(int argc, char** argv) {
   }
   report.value("mixed_vs_best_solo", vs_best);
   report.value("replay_identical", replay_identical ? 1.0 : 0.0);
+  report.value("fast_p99_cut_ms", fast_p99_cut_ms);
   bench::write_report(report, cli);
   bench::finalize(cli);
   return replay_identical ? 0 : 1;

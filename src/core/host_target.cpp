@@ -41,8 +41,11 @@ Target::BatchExec HostTarget::execute_batch(std::int64_t images, int batch,
     const std::int64_t n = std::min<std::int64_t>(batch, remaining);
     // Partial trailing batches still pay the full-batch latency profile of
     // their actual size.
+    // The fast tier scales the whole batch profile by its calibrated
+    // single-thread kernel speedup (devices/calibration.h).
     const double per_image =
-        model_.per_image_s(static_cast<int>(n), bundle_->macs);
+        model_.per_image_s(static_cast<int>(n), bundle_->macs) /
+        (fast_ ? devices::calibration::kHostFastSpeedupX : 1.0);
     // Deterministic run-to-run noise (the figures' error bars).
     const std::uint64_t h = util::hash_mix(jitter_seed_, batches_run_++);
     const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
@@ -63,6 +66,16 @@ Target::BatchExec HostTarget::execute_batch(std::int64_t images, int batch,
   exec.complete_s = exec.start_s + exec.run.seconds;
   next_free_s_ = exec.complete_s;
   return exec;
+}
+
+void HostTarget::set_fast(bool fast) {
+  fast_ = fast;
+  // Quantization is a graph-load-time pass: run it once per target, not
+  // per classify() call (timing-only bundles carry no weights to
+  // prepare).
+  if (fast_ && bundle_->functional() && quant_.size() == 0) {
+    quant_ = nn::quantize_weights(bundle_->graph, bundle_->weights_f32);
+  }
 }
 
 std::vector<Prediction> HostTarget::classify(
@@ -94,8 +107,13 @@ std::vector<Prediction> HostTarget::classify(
       std::copy(input.data(), input.data() + input.numel(),
                 blob.batch_ptr(b));
     }
+    nn::ExecOptions opts;
+    if (fast_) {
+      opts.fast = true;
+      opts.quant = &quant_;
+    }
     auto probs =
-        nn::run_probabilities(bundle_->graph, bundle_->weights_f32, blob);
+        nn::run_probabilities(bundle_->graph, bundle_->weights_f32, blob, opts);
     for (auto& row : probs) out.push_back(make_prediction(std::move(row)));
   }
   return out;

@@ -4,6 +4,7 @@
 
 #include "core/target.h"
 #include "devices/host_models.h"
+#include "nn/quant.h"
 
 namespace ncsw::core {
 
@@ -25,6 +26,16 @@ class HostTarget : public Target {
   /// The underlying analytic model (for tests and tables).
   const devices::HostDeviceModel& model() const noexcept { return model_; }
 
+  /// Opt this target into the fast host tier (docs/performance.md):
+  /// classify() runs the fused/quantized kernels (weights prepared once,
+  /// here) and the analytic batch timings are divided by the calibrated
+  /// calibration::kHostFastSpeedupX. Off by default; the default path is
+  /// untouched.
+  void set_fast(bool fast);
+
+  /// Whether the fast tier is enabled.
+  bool fast() const noexcept { return fast_; }
+
  protected:
   /// One batch on the host engine. The engine is a single serial queue:
   /// a submission starts when the previous one finishes (never before
@@ -40,6 +51,8 @@ class HostTarget : public Target {
   std::uint64_t jitter_seed_;
   std::uint64_t batches_run_ = 0;  // advances the jitter stream
   double next_free_s_ = 0.0;      // when the serial engine queue drains
+  bool fast_ = false;             // fast host tier enabled
+  nn::QuantizedWeights quant_;    // fast-tier weights (set_fast, once)
 };
 
 /// The paper's CPU target (Caffe-MKL, FP32).

@@ -43,6 +43,16 @@ inline constexpr double kVpuThreadGapS = 3.2e-3;
 // ---------------------------------------------------------------------------
 inline constexpr double kHostJitterFrac = 0.006;
 
+// ---------------------------------------------------------------------------
+// Host fast tier (not a paper anchor): throughput multiplier a
+// HostTarget::set_fast(true) target applies to the analytic batch model,
+// calibrated from bench/perf_forward's measured fast-vs-optimised
+// single-thread ratio (fp32; see BENCH_perf_forward.json,
+// fp32.fast.speedup_vs_opt_t1_x). Keeps serve_loadgen's simulated
+// mixed-fast phase consistent with what the real kernels deliver.
+// ---------------------------------------------------------------------------
+inline constexpr double kHostFastSpeedupX = 2.5;
+
 // TDP constants are in myriad::TdpConstants (chip 0.9 W, stick 2.5 W,
 // Xeon E5-2609v2 80 W, Quadro K4000 80 W).
 

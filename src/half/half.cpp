@@ -2,6 +2,12 @@
 
 #include <cstring>
 
+#include "util/multiversion.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#include <immintrin.h>
+#endif
+
 namespace ncsw::fp16 {
 
 namespace {
@@ -135,6 +141,78 @@ void float_to_half_span(const float* src, half* dst, std::size_t n) noexcept {
     dst[i] = half::from_bits(encode_half_rtne(float_bits(src[i])));
   }
 }
+
+// --- fast-tier span converters --------------------------------------------
+// F16C hardware conversion (vcvtph2ps / vcvtps2ph with round-to-nearest-
+// even) behind the same runtime ISA dispatch as the fast kernels. The
+// instructions implement the identical IEEE conversion as the scalar
+// encoders for all numeric values; only NaN payloads differ (hardware
+// truncates the payload, the scalar encoder canonicalises), which is why
+// these are fast-tier-only entry points.
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+
+namespace {
+
+NCSW_TARGET_F16C void h2f_span_f16c(const half* src, float* dst,
+                                    std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  const float* table = half_to_float_table();
+  for (; i < n; ++i) dst[i] = table[src[i].bits()];
+}
+
+NCSW_TARGET_F16C void f2h_span_f16c(const float* src, half* dst,
+                                    std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(src + i);
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+  }
+  for (; i < n; ++i) {
+    dst[i] = half::from_bits(encode_half_rtne(float_bits(src[i])));
+  }
+}
+
+}  // namespace
+
+void half_to_float_span_fast(const half* src, float* dst,
+                             std::size_t n) noexcept {
+  if (util::isa_level() != util::IsaLevel::kBase) {
+    h2f_span_f16c(src, dst, n);
+  } else {
+    half_to_float_span(src, dst, n);
+  }
+}
+
+void float_to_half_span_fast(const float* src, half* dst,
+                             std::size_t n) noexcept {
+  if (util::isa_level() != util::IsaLevel::kBase) {
+    f2h_span_f16c(src, dst, n);
+  } else {
+    float_to_half_span(src, dst, n);
+  }
+}
+
+#else
+
+void half_to_float_span_fast(const half* src, float* dst,
+                             std::size_t n) noexcept {
+  half_to_float_span(src, dst, n);
+}
+
+void float_to_half_span_fast(const float* src, half* dst,
+                             std::size_t n) noexcept {
+  float_to_half_span(src, dst, n);
+}
+
+#endif
 
 float half_bits_to_float(std::uint16_t bits) noexcept {
   const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;

@@ -37,6 +37,22 @@ void half_to_float_span(const half* src, float* dst, std::size_t n) noexcept;
 /// bit twiddling; src/dst may not overlap).
 void float_to_half_span(const float* src, half* dst, std::size_t n) noexcept;
 
+// Fast-tier span converters (docs/performance.md): identical values to
+// the bit-exact spans above for every number, zero and infinity, but
+// routed through the F16C conversion instructions when the machine has
+// them, which also means NaNs keep their hardware payload instead of
+// collapsing to the canonical quiet NaN. Only the opt-in fast tier may
+// call these; the default tier's golden digests are recorded against
+// the table/bit-twiddling spans.
+
+/// Fast-tier bulk binary16 -> binary32 decode (F16C when available).
+void half_to_float_span_fast(const half* src, float* dst,
+                             std::size_t n) noexcept;
+
+/// Fast-tier bulk binary32 -> binary16 RTNE encode (F16C when available).
+void float_to_half_span_fast(const float* src, half* dst,
+                             std::size_t n) noexcept;
+
 /// IEEE binary16 value type. Storage is the raw 16-bit pattern;
 /// arithmetic widens to float and rounds back, matching host-side
 /// conversion libraries (and the per-element rounding the VPU's VAU

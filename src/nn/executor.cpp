@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 
 #include "util/trace.h"
@@ -36,6 +37,14 @@ int resolve_threads(int requested) noexcept {
   return hc > 0 ? static_cast<int>(hc) : 1;
 }
 
+bool resolve_fast(bool requested) noexcept {
+  if (requested) return true;
+  const char* env = std::getenv("NCSW_FAST");
+  if (!env) return false;
+  const std::string_view v(env);
+  return v == "1" || v == "true" || v == "on";
+}
+
 template <typename T>
 ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
                           const tensor::Tensor<T>& input,
@@ -57,11 +66,39 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
   ctx.ws = &workspace;
   ctx.reference = options.reference_kernels;
   ctx.threads = options.reference_kernels ? 1 : resolve_threads(options.threads);
-  ctx.pool = ctx.threads > 1 ? &kernels::compute_pool() : nullptr;
+  ctx.fast = !options.reference_kernels && resolve_fast(options.fast);
+  ctx.quant = ctx.fast ? options.quant : nullptr;
+  ctx.pool = ctx.threads > 1
+                 ? (ctx.fast ? &kernels::fast_pool() : &kernels::compute_pool())
+                 : nullptr;
 
   std::vector<tensor::Tensor<T>> acts(static_cast<std::size_t>(graph.size()));
   std::vector<int> remaining = consumer_counts(graph);
   acts[0] = input;
+
+  // Fast-tier fusion plan: a ReLU whose sole consumer relationship is
+  // with a preceding Conv (or int8-quantized FC) executes inside that
+  // layer's epilogue; the ReLU layer itself becomes a move. Skipped
+  // under keep_all_activations, where per-layer activations must keep
+  // their unfused meaning.
+  std::vector<std::uint8_t> fuse_relu_out(static_cast<std::size_t>(graph.size()), 0);
+  std::vector<std::uint8_t> fused_away(static_cast<std::size_t>(graph.size()), 0);
+  if (ctx.fast && !options.keep_all_activations) {
+    for (int id = 1; id < graph.size(); ++id) {
+      const Layer& l = graph.layer(id);
+      if (l.kind != LayerKind::kReLU) continue;
+      const int src_id = l.inputs[0];
+      const Layer& sl = graph.layer(src_id);
+      const bool fusable_src =
+          sl.kind == LayerKind::kConv ||
+          (sl.kind == LayerKind::kFC && ctx.quant &&
+           ctx.quant->find(sl.name) != nullptr);
+      if (fusable_src && remaining[static_cast<std::size_t>(src_id)] == 1) {
+        fuse_relu_out[static_cast<std::size_t>(src_id)] = 1;
+        fused_away[static_cast<std::size_t>(id)] = 1;
+      }
+    }
+  }
 
   auto release = [&](int id) {
     if (options.keep_all_activations) return;
@@ -89,11 +126,23 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
       case LayerKind::kInput:
         throw std::logic_error("run_forward: unexpected input layer");
       case LayerKind::kConv:
-        kernels::conv2d(src, weights.at(l.name), l.conv, dst, ctx);
+        if (ctx.fast) {
+          kernels::conv2d_fast(
+              src, weights.at(l.name),
+              ctx.quant ? ctx.quant->find(l.name) : nullptr, l.conv,
+              fuse_relu_out[static_cast<std::size_t>(id)] != 0, dst, ctx);
+        } else {
+          kernels::conv2d(src, weights.at(l.name), l.conv, dst, ctx);
+        }
         break;
       case LayerKind::kReLU:
-        dst = src;
-        kernels::relu(dst, ctx);
+        if (fused_away[static_cast<std::size_t>(id)]) {
+          // Already applied in the producing layer's epilogue.
+          dst = std::move(acts[static_cast<std::size_t>(l.inputs[0])]);
+        } else {
+          dst = src;
+          kernels::relu(dst, ctx);
+        }
         break;
       case LayerKind::kMaxPool:
         kernels::max_pool(src, l.pool, dst, ctx);
@@ -114,7 +163,14 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
         break;
       }
       case LayerKind::kFC:
-        kernels::fully_connected(src, weights.at(l.name), l.fc, dst, ctx);
+        if (ctx.fast) {
+          kernels::fully_connected_fast(
+              src, weights.at(l.name),
+              ctx.quant ? ctx.quant->find(l.name) : nullptr, l.fc,
+              fuse_relu_out[static_cast<std::size_t>(id)] != 0, dst, ctx);
+        } else {
+          kernels::fully_connected(src, weights.at(l.name), l.fc, dst, ctx);
+        }
         break;
       case LayerKind::kSoftmax:
         kernels::softmax(src, dst);
@@ -161,8 +217,8 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
 template <typename T>
 std::vector<std::vector<float>> run_probabilities(
     const Graph& graph, const Weights<T>& weights,
-    const tensor::Tensor<T>& input) {
-  auto result = run_forward(graph, weights, input);
+    const tensor::Tensor<T>& input, const ExecOptions& options) {
+  auto result = run_forward(graph, weights, input, options);
   const auto& out = result.output;
   const std::int64_t batch = out.shape().n;
   const std::int64_t dim = out.shape().chw();
@@ -217,9 +273,10 @@ template ExecResult<ncsw::fp16::half> run_forward<ncsw::fp16::half>(
     const Graph&, const Weights<ncsw::fp16::half>&,
     const tensor::Tensor<ncsw::fp16::half>&, const ExecOptions&);
 template std::vector<std::vector<float>> run_probabilities<float>(
-    const Graph&, const Weights<float>&, const tensor::Tensor<float>&);
+    const Graph&, const Weights<float>&, const tensor::Tensor<float>&,
+    const ExecOptions&);
 template std::vector<std::vector<float>> run_probabilities<ncsw::fp16::half>(
     const Graph&, const Weights<ncsw::fp16::half>&,
-    const tensor::Tensor<ncsw::fp16::half>&);
+    const tensor::Tensor<ncsw::fp16::half>&, const ExecOptions&);
 
 }  // namespace ncsw::nn

@@ -33,12 +33,29 @@ struct ExecOptions {
   /// and, when the global tracer is enabled, emit one "host" span per
   /// layer. Off by default so simulated-clock traces stay clean.
   bool profile_layers = false;
+  /// Opt into the fast tier (docs/performance.md): fused conv+bias+ReLU,
+  /// direct 3x3/1x1 convolution, int8 fully-connected layers (when
+  /// `quant` is set) and affinity-pinned chunk placement. Also enabled
+  /// by $NCSW_FAST=1; default off, keeping the bit-identical contract
+  /// (and every golden digest) untouched. Ignored with
+  /// reference_kernels. Fusion is skipped under keep_all_activations so
+  /// per-layer diffs keep their meaning.
+  bool fast = false;
+  /// Graph-load-time fast-tier weights from nn::quantize_weights();
+  /// nullptr keeps the fully-connected layers in FP32 and makes the fast
+  /// conv kernels expand weights per call. Only read when fast resolves
+  /// on.
+  const QuantizedWeights* quant = nullptr;
 };
 
 /// Thread count an ExecOptions::threads value resolves to: the value
 /// itself when positive, else $NCSW_THREADS when set to a positive
 /// integer, else std::thread::hardware_concurrency() (minimum 1).
 int resolve_threads(int requested) noexcept;
+
+/// Whether an ExecOptions::fast value resolves on: true when requested,
+/// else when $NCSW_FAST is "1", "true" or "on".
+bool resolve_fast(bool requested) noexcept;
 
 /// Result of a forward pass.
 template <typename T>
@@ -63,7 +80,7 @@ ExecResult<T> run_forward(const Graph& graph, const Weights<T>& weights,
 template <typename T>
 std::vector<std::vector<float>> run_probabilities(
     const Graph& graph, const Weights<T>& weights,
-    const tensor::Tensor<T>& input);
+    const tensor::Tensor<T>& input, const ExecOptions& options = {});
 
 /// Index of the most probable class per batch item.
 std::vector<int> argmax_per_item(const std::vector<std::vector<float>>& probs);

@@ -1,5 +1,7 @@
 #include "nn/kernels.h"
 
+#include "util/multiversion.h"
+
 #include <algorithm>
 #include <cmath>
 #include <exception>
@@ -29,7 +31,7 @@ int plan_chunks(const ExecCtx& ctx, std::int64_t total) {
 }
 
 template <typename Fn>
-void run_chunks(util::ThreadPool* pool, int chunks, std::int64_t total,
+void run_chunks(const ExecCtx& ctx, int chunks, std::int64_t total,
                 const Fn& fn) {
   if (total <= 0) return;
   if (chunks <= 1) {
@@ -41,7 +43,13 @@ void run_chunks(util::ThreadPool* pool, int chunks, std::int64_t total,
   for (int t = 0; t < chunks; ++t) {
     const std::int64_t begin = total * t / chunks;
     const std::int64_t end = total * (t + 1) / chunks;
-    futs.push_back(pool->submit([&fn, t, begin, end] { fn(t, begin, end); }));
+    auto task = [&fn, t, begin, end] { fn(t, begin, end); };
+    // Fast tier: chunk t always goes to worker t, so a given output
+    // slab is produced on the same (pinned) core every layer and every
+    // pass, instead of whichever worker dequeues first.
+    futs.push_back(ctx.fast
+                       ? ctx.pool->submit_to(static_cast<std::size_t>(t), task)
+                       : ctx.pool->submit(task));
   }
   // Wait for every chunk before surfacing the first failure, so no task
   // can outlive the captured locals.
@@ -58,7 +66,7 @@ void run_chunks(util::ThreadPool* pool, int chunks, std::int64_t total,
 
 template <typename Fn>
 void parallel_chunks(const ExecCtx& ctx, std::int64_t total, const Fn& fn) {
-  run_chunks(ctx.pool, plan_chunks(ctx, total), total, fn);
+  run_chunks(ctx, plan_chunks(ctx, total), total, fn);
 }
 
 // ---------------------------------------------------------------------------
@@ -243,10 +251,267 @@ const float* batch_as_f32(const Tensor<T>& in, std::int64_t b, Workspace& ws,
     float* buf = ws.acts(chw);
     const half* src = in.batch_ptr(b);
     parallel_chunks(ctx, chw, [&](int, std::int64_t e0, std::int64_t e1) {
-      ncsw::fp16::half_to_float_span(src + e0, buf + e0,
-                                     static_cast<std::size_t>(e1 - e0));
+      if (ctx.fast) {
+        ncsw::fp16::half_to_float_span_fast(
+            src + e0, buf + e0, static_cast<std::size_t>(e1 - e0));
+      } else {
+        ncsw::fp16::half_to_float_span(src + e0, buf + e0,
+                                       static_cast<std::size_t>(e1 - e0));
+      }
     });
     return buf;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-tier direct 3x3 convolution: no im2col patch matrix. The interior
+// of each output row is computed in NR x 8 register tiles (NR output
+// channels by 8 output columns — the same microkernel shape as the
+// blocked GEMM) reading the input planes in place; columns whose taps
+// can fall outside the image take a guarded scalar path. Bias and the
+// fused ReLU are applied at store, so the direct path writes each output
+// element exactly once. Every element is accumulated in the same fixed
+// (c, ky, kx) order on both paths, so results do not depend on tile
+// boundaries or chunking.
+template <int NR>
+NCSW_FAST_INLINE void direct3x3_rows_impl(
+    const float* src, std::int64_t channels, std::int64_t h, std::int64_t w,
+    int stride, int pad, std::int64_t oh, std::int64_t ow, const float* wgt,
+    const float* bias, bool fuse_relu, float* dst) noexcept {
+  const std::int64_t n_dim = oh * ow;
+  // Interior ox range: all three taps ox*stride - pad + {0,1,2} in bounds.
+  const std::int64_t x_lo = std::min<std::int64_t>(
+      ow, (static_cast<std::int64_t>(pad) + stride - 1) / stride);
+  const std::int64_t x_hi = std::max(
+      x_lo, std::min<std::int64_t>(
+                ow, w - 3 + pad >= 0 ? (w - 3 + pad) / stride + 1 : 0));
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    const std::int64_t iy0 = oy * stride - pad;
+    float* out_row = dst + oy * ow;
+    // Guarded scalar columns: the padded edges and the interior tail
+    // that does not fill a tile.
+    const auto scalar_cols = [&](std::int64_t c0, std::int64_t c1) {
+      for (std::int64_t ox = c0; ox < c1; ++ox) {
+        const std::int64_t base = ox * stride - pad;
+        float acc[NR];
+        for (int r = 0; r < NR; ++r) acc[r] = bias[r];
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const float* plane = src + c * h * w;
+          for (int ky = 0; ky < 3; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            const float* srow = plane + iy * w;
+            for (int kx = 0; kx < 3; ++kx) {
+              const std::int64_t ix = base + kx;
+              if (ix < 0 || ix >= w) continue;
+              const float v = srow[ix];
+              for (int r = 0; r < NR; ++r) {
+                acc[r] += wgt[(r * channels + c) * 9 + ky * 3 + kx] * v;
+              }
+            }
+          }
+        }
+        for (int r = 0; r < NR; ++r) {
+          out_row[r * n_dim + ox] =
+              fuse_relu && acc[r] < 0.0f ? 0.0f : acc[r];
+        }
+      }
+    };
+    scalar_cols(0, x_lo);
+    // Interior tiles, NCSW_V8F per 8 output columns (see
+    // util/multiversion.h for why the vector type is explicit). The
+    // unaligned tap loads srow[kx..kx+7] require stride == 1, which the
+    // direct-path heuristic in conv2d_fast guarantees.
+    std::int64_t ox0 = x_lo;
+    for (; ox0 + 8 <= x_hi; ox0 += 8) {
+      NCSW_V8F acc[NR];
+      for (int r = 0; r < NR; ++r) acc[r] = bias[r] + NCSW_V8F{};
+      const std::int64_t base = ox0 * stride - pad;
+      for (std::int64_t c = 0; c < channels; ++c) {
+        const float* plane = src + c * h * w;
+        for (int ky = 0; ky < 3; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          const float* srow = plane + iy * w + base;
+          for (int kx = 0; kx < 3; ++kx) {
+            const NCSW_V8F v = *reinterpret_cast<const NCSW_V8F*>(srow + kx);
+            for (int r = 0; r < NR; ++r) {
+              acc[r] += wgt[(r * channels + c) * 9 + ky * 3 + kx] * v;
+            }
+          }
+        }
+      }
+      for (int r = 0; r < NR; ++r) {
+        for (int j = 0; j < 8; ++j) {
+          const float x = acc[r][j];
+          out_row[r * n_dim + ox0 + j] = fuse_relu && x < 0.0f ? 0.0f : x;
+        }
+      }
+    }
+    scalar_cols(ox0, ow);
+  }
+}
+
+// Per-ISA variants and dispatchers (util/multiversion.h); templates
+// cannot carry the target attribute, so the two instantiations get plain
+// multiversioned wrappers.
+NCSW_TARGET_V3 void direct3x3_rows4_v3(
+    const float* src, std::int64_t channels, std::int64_t h, std::int64_t w,
+    int stride, int pad, std::int64_t oh, std::int64_t ow, const float* wgt,
+    const float* bias, bool fuse_relu, float* dst) noexcept {
+  direct3x3_rows_impl<4>(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+}
+NCSW_TARGET_V4 void direct3x3_rows4_v4(
+    const float* src, std::int64_t channels, std::int64_t h, std::int64_t w,
+    int stride, int pad, std::int64_t oh, std::int64_t ow, const float* wgt,
+    const float* bias, bool fuse_relu, float* dst) noexcept {
+  direct3x3_rows_impl<4>(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+}
+NCSW_TARGET_V3 void direct3x3_rows1_v3(
+    const float* src, std::int64_t channels, std::int64_t h, std::int64_t w,
+    int stride, int pad, std::int64_t oh, std::int64_t ow, const float* wgt,
+    const float* bias, bool fuse_relu, float* dst) noexcept {
+  direct3x3_rows_impl<1>(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+}
+NCSW_TARGET_V4 void direct3x3_rows1_v4(
+    const float* src, std::int64_t channels, std::int64_t h, std::int64_t w,
+    int stride, int pad, std::int64_t oh, std::int64_t ow, const float* wgt,
+    const float* bias, bool fuse_relu, float* dst) noexcept {
+  direct3x3_rows_impl<1>(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+}
+
+void direct3x3_rows4(const float* src, std::int64_t channels, std::int64_t h,
+                     std::int64_t w, int stride, int pad, std::int64_t oh,
+                     std::int64_t ow, const float* wgt, const float* bias,
+                     bool fuse_relu, float* dst) noexcept {
+  switch (util::isa_level()) {
+    case util::IsaLevel::kV4:
+      direct3x3_rows4_v4(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+      break;
+    case util::IsaLevel::kV3:
+      direct3x3_rows4_v3(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+      break;
+    default:
+      direct3x3_rows_impl<4>(src, channels, h, w, stride, pad, oh, ow, wgt,
+                             bias, fuse_relu, dst);
+      break;
+  }
+}
+
+void direct3x3_rows1(const float* src, std::int64_t channels, std::int64_t h,
+                     std::int64_t w, int stride, int pad, std::int64_t oh,
+                     std::int64_t ow, const float* wgt, const float* bias,
+                     bool fuse_relu, float* dst) noexcept {
+  switch (util::isa_level()) {
+    case util::IsaLevel::kV4:
+      direct3x3_rows1_v4(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+      break;
+    case util::IsaLevel::kV3:
+      direct3x3_rows1_v3(src, channels, h, w, stride, pad, oh, ow, wgt, bias,
+                         fuse_relu, dst);
+      break;
+    default:
+      direct3x3_rows_impl<1>(src, channels, h, w, stride, pad, oh, ow, wgt,
+                             bias, fuse_relu, dst);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-tier separable 3x3 max pool over one plane. Phase 1 takes the
+// vertical max of the (clamped) 3-row window into a row buffer whose
+// 8-float slack borders hold -inf, phase 2 the horizontal 3-tap max of
+// that buffer; the -inf borders stand in for the window clamping of the
+// scalar kernel, so every output equals the scalar max exactly (max is
+// order-independent — this path changes no values, only speed).
+// `vbuf` points at the w-element interior of a (w + 16)-float buffer
+// whose borders the caller pre-filled with -inf.
+NCSW_FAST_INLINE void max_pool3_plane_impl(const float* sf, std::int64_t h,
+                                           std::int64_t w, int stride, int pad,
+                                           std::int64_t oh, std::int64_t ow,
+                                           float* vbuf, float* outf) noexcept {
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    const std::int64_t y0 = std::max<std::int64_t>(oy * stride - pad, 0);
+    const std::int64_t y1 =
+        std::min<std::int64_t>(oy * stride - pad + 3, h);
+    // Phase 1: vertical max of rows [y0, y1) into vbuf[0..w).
+    std::int64_t x = 0;
+    for (; x + 8 <= w; x += 8) {
+      NCSW_V8F m = *reinterpret_cast<const NCSW_V8F*>(sf + y0 * w + x);
+      for (std::int64_t y = y0 + 1; y < y1; ++y) {
+        const NCSW_V8F r = *reinterpret_cast<const NCSW_V8F*>(sf + y * w + x);
+        m = m > r ? m : r;
+      }
+      *reinterpret_cast<NCSW_V8F*>(vbuf + x) = m;
+    }
+    for (; x < w; ++x) {
+      float m = sf[y0 * w + x];
+      for (std::int64_t y = y0 + 1; y < y1; ++y) {
+        m = std::max(m, sf[y * w + x]);
+      }
+      vbuf[x] = m;
+    }
+    // Phase 2: horizontal 3-tap max. The unaligned loads reach at most
+    // vbuf[ow - 1 - pad + 9], inside the slack border for pad <= 2 and
+    // ow <= w (stride 1).
+    float* orow = outf + oy * ow;
+    if (stride == 1) {
+      std::int64_t ox = 0;
+      for (; ox + 8 <= ow; ox += 8) {
+        const float* base = vbuf + ox - pad;
+        NCSW_V8F m = *reinterpret_cast<const NCSW_V8F*>(base);
+        const NCSW_V8F t1 = *reinterpret_cast<const NCSW_V8F*>(base + 1);
+        m = m > t1 ? m : t1;
+        const NCSW_V8F t2 = *reinterpret_cast<const NCSW_V8F*>(base + 2);
+        m = m > t2 ? m : t2;
+        *reinterpret_cast<NCSW_V8F*>(orow + ox) = m;
+      }
+      for (; ox < ow; ++ox) {
+        const float* base = vbuf + ox - pad;
+        orow[ox] = std::max(std::max(base[0], base[1]), base[2]);
+      }
+    } else {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* base = vbuf + ox * stride - pad;
+        orow[ox] = std::max(std::max(base[0], base[1]), base[2]);
+      }
+    }
+  }
+}
+
+NCSW_TARGET_V3 void max_pool3_plane_v3(const float* sf, std::int64_t h,
+                                       std::int64_t w, int stride, int pad,
+                                       std::int64_t oh, std::int64_t ow,
+                                       float* vbuf, float* outf) noexcept {
+  max_pool3_plane_impl(sf, h, w, stride, pad, oh, ow, vbuf, outf);
+}
+NCSW_TARGET_V4 void max_pool3_plane_v4(const float* sf, std::int64_t h,
+                                       std::int64_t w, int stride, int pad,
+                                       std::int64_t oh, std::int64_t ow,
+                                       float* vbuf, float* outf) noexcept {
+  max_pool3_plane_impl(sf, h, w, stride, pad, oh, ow, vbuf, outf);
+}
+
+void max_pool3_plane(const float* sf, std::int64_t h, std::int64_t w,
+                     int stride, int pad, std::int64_t oh, std::int64_t ow,
+                     float* vbuf, float* outf) noexcept {
+  switch (util::isa_level()) {
+    case util::IsaLevel::kV4:
+      max_pool3_plane_v4(sf, h, w, stride, pad, oh, ow, vbuf, outf);
+      break;
+    case util::IsaLevel::kV3:
+      max_pool3_plane_v3(sf, h, w, stride, pad, oh, ow, vbuf, outf);
+      break;
+    default:
+      max_pool3_plane_impl(sf, h, w, stride, pad, oh, ow, vbuf, outf);
+      break;
   }
 }
 
@@ -255,6 +520,13 @@ const float* batch_as_f32(const Tensor<T>& in, std::int64_t b, Workspace& ws,
 util::ThreadPool& compute_pool() {
   static util::ThreadPool pool(
       std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+util::ThreadPool& fast_pool() {
+  static util::ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()),
+      /*pin_workers=*/true);
   return pool;
 }
 
@@ -388,11 +660,36 @@ void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
   Workspace& ws = ctx.ws ? *ctx.ws : local;
   const std::int64_t planes = is.n * is.c;
   const int chunks = plan_chunks(ctx, planes);
-  float* scratch = std::is_same_v<T, float>
-                       ? nullptr
-                       : ws.slabs(chunks, is.hw());
-  run_chunks(ctx.pool, chunks, planes,
+  // Fast tier: separable vectorized 3x3 path (max_pool3_plane). Values
+  // are exactly the scalar kernel's — max has no accumulation order —
+  // but the path is gated on ctx.fast anyway so the default tier runs
+  // only the code the golden digests were recorded against.
+  const bool fast3 = ctx.fast && !p.global && kernel == 3 && pad <= 2;
+  const std::int64_t scratch_len =
+      std::is_same_v<T, float> ? 0 : is.hw();
+  const std::int64_t fast_len =
+      fast3 ? is.w + 16 + (std::is_same_v<T, float> ? 0 : oh * ow) : 0;
+  const std::int64_t slab_len = scratch_len + fast_len;
+  float* slab = slab_len != 0 ? ws.slabs(chunks, slab_len) : nullptr;
+  run_chunks(ctx, chunks, planes,
              [&](int t, std::int64_t s0, std::int64_t s1) {
+               float* base = slab != nullptr ? slab + t * slab_len : nullptr;
+               float* vbuf = nullptr;
+               float* fast_out = nullptr;
+               if (fast3) {
+                 // -inf slack borders around the w-element row buffer;
+                 // phase 1 never writes them, so one fill serves every
+                 // plane of the chunk.
+                 float* vb0 = base + scratch_len;
+                 std::fill(vb0, vb0 + 8,
+                           -std::numeric_limits<float>::infinity());
+                 std::fill(vb0 + 8 + is.w, vb0 + 16 + is.w,
+                           -std::numeric_limits<float>::infinity());
+                 vbuf = vb0 + 8;
+                 if constexpr (!std::is_same_v<T, float>) {
+                   fast_out = vb0 + 16 + is.w;
+                 }
+               }
                for (std::int64_t s = s0; s < s1; ++s) {
                  const T* src = in.data() + s * is.hw();
                  T* dst = out.data() + s * oh * ow;
@@ -400,10 +697,30 @@ void max_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
                  if constexpr (std::is_same_v<T, float>) {
                    sf = src;
                  } else {
-                   float* buf = scratch + t * is.hw();
-                   ncsw::fp16::half_to_float_span(
-                       src, buf, static_cast<std::size_t>(is.hw()));
+                   float* buf = base;
+                   if (ctx.fast) {
+                     ncsw::fp16::half_to_float_span_fast(
+                         src, buf, static_cast<std::size_t>(is.hw()));
+                   } else {
+                     ncsw::fp16::half_to_float_span(
+                         src, buf, static_cast<std::size_t>(is.hw()));
+                   }
                    sf = buf;
+                 }
+                 if (fast3) {
+                   float* outf;
+                   if constexpr (std::is_same_v<T, float>) {
+                     outf = dst;
+                   } else {
+                     outf = fast_out;
+                   }
+                   max_pool3_plane(sf, is.h, is.w, stride, pad, oh, ow, vbuf,
+                                   outf);
+                   if constexpr (!std::is_same_v<T, float>) {
+                     ncsw::fp16::float_to_half_span_fast(
+                         outf, dst, static_cast<std::size_t>(oh * ow));
+                   }
+                   continue;
                  }
                  for (std::int64_t oy = 0; oy < oh; ++oy) {
                    for (std::int64_t ox = 0; ox < ow; ++ox) {
@@ -450,7 +767,7 @@ void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
                        ? nullptr
                        : ws.slabs(chunks, is.hw());
   run_chunks(
-      ctx.pool, chunks, planes, [&](int t, std::int64_t s0, std::int64_t s1) {
+      ctx, chunks, planes, [&](int t, std::int64_t s0, std::int64_t s1) {
         for (std::int64_t s = s0; s < s1; ++s) {
           const T* src = in.data() + s * is.hw();
           T* dst = out.data() + s * oh * ow;
@@ -459,8 +776,13 @@ void avg_pool(const Tensor<T>& in, const PoolParams& p, Tensor<T>& out,
             sf = src;
           } else {
             float* buf = scratch + t * is.hw();
-            ncsw::fp16::half_to_float_span(
-                src, buf, static_cast<std::size_t>(is.hw()));
+            if (ctx.fast) {
+              ncsw::fp16::half_to_float_span_fast(
+                  src, buf, static_cast<std::size_t>(is.hw()));
+            } else {
+              ncsw::fp16::half_to_float_span(
+                  src, buf, static_cast<std::size_t>(is.hw()));
+            }
             sf = buf;
           }
           for (std::int64_t oy = 0; oy < oh; ++oy) {
@@ -527,7 +849,7 @@ void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out,
     // so the window sum slides over dense rows instead of strided at().
     const float* inf = batch_as_f32(in, b, ws, ctx);
     run_chunks(
-        ctx.pool, chunks, is.c, [&](int t, std::int64_t c0, std::int64_t c1) {
+        ctx, chunks, is.c, [&](int t, std::int64_t c0, std::int64_t c1) {
           float* sumsq = scratch + t * per_task;
           for (std::int64_t c = c0; c < c1; ++c) {
             const std::int64_t w0 = std::max<std::int64_t>(c - half_win, 0);
@@ -541,21 +863,48 @@ void lrn(const Tensor<T>& in, const LRNParams& p, Tensor<T>& out,
               for (std::int64_t i = 0; i < hw; ++i) sumsq[i] += v[i] * v[i];
             }
             const float* vc = inf + c * hw;
+            // Fast tier, beta = 0.75 (every zoo LRN): scale^0.75 =
+            // sqrt(scale)*sqrt(sqrt(scale)) — two sqrts instead of a
+            // powf per element. Slightly different rounding, hence
+            // fast-only.
+            const bool fast_beta = ctx.fast && p.beta == 0.75f;
             if constexpr (std::is_same_v<T, float>) {
               float* dst = out.data() + (b * is.c + c) * hw;
-              for (std::int64_t i = 0; i < hw; ++i) {
-                const float scale = p.k + alpha_over_n * sumsq[i];
-                dst[i] = vc[i] / std::pow(scale, p.beta);
+              if (fast_beta) {
+                for (std::int64_t i = 0; i < hw; ++i) {
+                  const float scale = p.k + alpha_over_n * sumsq[i];
+                  const float r = std::sqrt(scale);
+                  dst[i] = vc[i] / (r * std::sqrt(r));
+                }
+              } else {
+                for (std::int64_t i = 0; i < hw; ++i) {
+                  const float scale = p.k + alpha_over_n * sumsq[i];
+                  dst[i] = vc[i] / std::pow(scale, p.beta);
+                }
               }
             } else {
               float* res = sumsq + hw;
-              for (std::int64_t i = 0; i < hw; ++i) {
-                const float scale = p.k + alpha_over_n * sumsq[i];
-                res[i] = vc[i] / std::pow(scale, p.beta);
+              if (fast_beta) {
+                for (std::int64_t i = 0; i < hw; ++i) {
+                  const float scale = p.k + alpha_over_n * sumsq[i];
+                  const float r = std::sqrt(scale);
+                  res[i] = vc[i] / (r * std::sqrt(r));
+                }
+              } else {
+                for (std::int64_t i = 0; i < hw; ++i) {
+                  const float scale = p.k + alpha_over_n * sumsq[i];
+                  res[i] = vc[i] / std::pow(scale, p.beta);
+                }
               }
-              ncsw::fp16::float_to_half_span(
-                  res, out.data() + (b * is.c + c) * hw,
-                  static_cast<std::size_t>(hw));
+              if (ctx.fast) {
+                ncsw::fp16::float_to_half_span_fast(
+                    res, out.data() + (b * is.c + c) * hw,
+                    static_cast<std::size_t>(hw));
+              } else {
+                ncsw::fp16::float_to_half_span(
+                    res, out.data() + (b * is.c + c) * hw,
+                    static_cast<std::size_t>(hw));
+              }
             }
           }
         });
@@ -646,6 +995,204 @@ void softmax(const Tensor<T>& in, Tensor<T>& out) {
   }
 }
 
+template <typename T>
+void conv2d_fast(const Tensor<T>& in, const LayerParams<T>& params,
+                 const FastLayer* fl, const ConvParams& p, bool fuse_relu,
+                 Tensor<T>& out, const ExecCtx& ctx) {
+  const tensor::Shape& is = in.shape();
+  const std::int64_t oh = conv_extent(is.h, p.kernel, p.stride, p.pad);
+  const std::int64_t ow = conv_extent(is.w, p.kernel, p.stride, p.pad);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv2d: kernel does not fit");
+  }
+  if (params.w.shape() !=
+      tensor::Shape{p.out_channels, is.c, p.kernel, p.kernel}) {
+    throw std::invalid_argument("conv2d: weight shape mismatch: " +
+                                params.w.shape().to_string());
+  }
+  out.resize(tensor::Shape{is.n, p.out_channels, oh, ow});
+
+  const std::int64_t k_dim = is.c * p.kernel * p.kernel;
+  const std::int64_t n_dim = oh * ow;
+  Workspace local;
+  Workspace& ws = ctx.ws ? *ctx.ws : local;
+
+  // FP32 weights/bias: the graph-load-time panels when available, a
+  // per-call expansion otherwise.
+  const float* wf = nullptr;
+  const float* bf = nullptr;
+  if (fl && fl->rows == p.out_channels && fl->cols == k_dim) {
+    wf = fl->w_f32.data();
+    bf = fl->b_f32.data();
+  } else {
+    if constexpr (std::is_same_v<T, float>) {
+      wf = params.w.data();
+      bf = params.b.data();
+    } else {
+      auto& wpanel = ws.gemm().a;
+      const auto wcount = static_cast<std::size_t>(p.out_channels * k_dim);
+      if (wpanel.size() < wcount) wpanel.resize(wcount);
+      ncsw::fp16::half_to_float_span_fast(params.w.data(), wpanel.data(),
+                                          wcount);
+      wf = wpanel.data();
+      float* bpanel = ws.bias(p.out_channels);
+      ncsw::fp16::half_to_float_span_fast(
+          params.b.data(), bpanel, static_cast<std::size_t>(p.out_channels));
+      bf = bpanel;
+    }
+  }
+
+  const bool direct_1x1 = p.kernel == 1 && p.stride == 1 && p.pad == 0;
+  // Direct 3x3 pays off when output rows are wide enough to fill its
+  // 8-column register tiles; on narrow maps (the tiny nets' inception
+  // towers) the im2col panel is small, stays in cache, and the blocked
+  // GEMM wins, so those shapes keep the GEMM path.
+  const std::int64_t x_lo_3 = std::min<std::int64_t>(
+      ow, (static_cast<std::int64_t>(p.pad) + p.stride - 1) / p.stride);
+  const std::int64_t x_hi_3 = std::max(
+      x_lo_3,
+      std::min<std::int64_t>(
+          ow, is.w - 3 + p.pad >= 0 ? (is.w - 3 + p.pad) / p.stride + 1 : 0));
+  // stride == 1 keeps the interior tap loads contiguous (the vector
+  // kernel loads srow[kx..kx+7] directly); strided 3x3 shapes go
+  // through im2col + GEMM like everything else.
+  const bool direct_3x3 =
+      p.kernel == 3 && p.stride == 1 && x_hi_3 - x_lo_3 >= 8;
+
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    const float* src = batch_as_f32(in, b, ws, ctx);
+    // FP32 result panel [outC x n_dim]: the output itself for float, a
+    // workspace accumulator rounded once per element for half.
+    float* cf;
+    if constexpr (std::is_same_v<T, float>) {
+      cf = out.batch_ptr(b);
+    } else {
+      cf = ws.out(p.out_channels * n_dim);
+    }
+
+    if (direct_3x3) {
+      // Direct convolution, chunked by 4-channel output blocks. Each
+      // output element is accumulated entirely inside one block with a
+      // fixed (c, ky, kx) order, so results do not depend on the chunk
+      // count. Bias and the fused ReLU are applied at store, so only the
+      // FP16 rounding epilogue remains.
+      const std::int64_t blocks = (p.out_channels + 3) / 4;
+      parallel_chunks(
+          ctx, blocks, [&](int, std::int64_t blk0, std::int64_t blk1) {
+            for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+              const std::int64_t oc0 = blk * 4;
+              const std::int64_t nr =
+                  std::min<std::int64_t>(4, p.out_channels - oc0);
+              float* dst = cf + oc0 * n_dim;
+              if (nr == 4) {
+                direct3x3_rows4(src, is.c, is.h, is.w, p.stride, p.pad, oh,
+                                ow, wf + oc0 * k_dim, bf + oc0, fuse_relu,
+                                dst);
+              } else {
+                for (std::int64_t r = 0; r < nr; ++r) {
+                  direct3x3_rows1(src, is.c, is.h, is.w, p.stride, p.pad, oh,
+                                  ow, wf + (oc0 + r) * k_dim, bf + oc0 + r,
+                                  fuse_relu, dst + r * n_dim);
+                }
+              }
+            }
+          });
+      if constexpr (!std::is_same_v<T, float>) {
+        parallel_chunks(
+            ctx, p.out_channels,
+            [&](int, std::int64_t oc0, std::int64_t oc1) {
+              ncsw::fp16::float_to_half_span_fast(
+                  cf + oc0 * n_dim, out.batch_ptr(b) + oc0 * n_dim,
+                  static_cast<std::size_t>((oc1 - oc0) * n_dim));
+            });
+      }
+    } else {
+      // GEMM path. Stride-1 unpadded 1x1 needs no patch matrix at all:
+      // the input planes already are [k_dim x n_dim].
+      const float* bmat;
+      if (direct_1x1) {
+        bmat = src;
+      } else {
+        float* col = ws.col(k_dim * n_dim);
+        parallel_chunks(ctx, is.c,
+                        [&](int, std::int64_t c0, std::int64_t c1) {
+                          im2col_rows(src, c0, c1, is.h, is.w, p.kernel,
+                                      p.stride, p.pad, oh, ow, col);
+                        });
+        bmat = col;
+      }
+      parallel_chunks(ctx, n_dim, [&](int, std::int64_t j0, std::int64_t j1) {
+        tensor::gemm_f32_fast(p.out_channels, j1 - j0, k_dim, wf, k_dim,
+                              bmat + j0, n_dim, cf + j0, n_dim);
+      });
+      // Fused epilogue: bias and ReLU in one FP32 pass, then (FP16 only)
+      // one round per element — the conv -> round -> relu -> round
+      // round-trip of the unfused path collapses to a single write-back.
+      parallel_chunks(
+          ctx, p.out_channels, [&](int, std::int64_t oc0, std::int64_t oc1) {
+            for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+              const float bias = bf[oc];
+              float* row = cf + oc * n_dim;
+              if (fuse_relu) {
+                for (std::int64_t i = 0; i < n_dim; ++i) {
+                  const float v = row[i] + bias;
+                  row[i] = v < 0.0f ? 0.0f : v;
+                }
+              } else {
+                for (std::int64_t i = 0; i < n_dim; ++i) row[i] += bias;
+              }
+              if constexpr (!std::is_same_v<T, float>) {
+                ncsw::fp16::float_to_half_span_fast(
+                    row, out.batch_ptr(b) + oc * n_dim,
+                    static_cast<std::size_t>(n_dim));
+              }
+            }
+          });
+    }
+  }
+}
+
+template <typename T>
+void fully_connected_fast(const Tensor<T>& in, const LayerParams<T>& params,
+                          const FastLayer* fl, const FCParams& p,
+                          bool fuse_relu, Tensor<T>& out, const ExecCtx& ctx) {
+  const tensor::Shape& is = in.shape();
+  const std::int64_t in_dim = is.chw();
+  if (params.w.shape() != tensor::Shape{p.out_features, in_dim, 1, 1}) {
+    throw std::invalid_argument("fully_connected: weight shape mismatch: " +
+                                params.w.shape().to_string());
+  }
+  if (!fl || fl->rows != p.out_features || fl->cols != in_dim) {
+    fully_connected(in, params, p, out, ctx);
+    if (fuse_relu) relu(out, ctx);
+    return;
+  }
+  out.resize(tensor::Shape{is.n, p.out_features, 1, 1});
+  Workspace local;
+  Workspace& ws = ctx.ws ? *ctx.ws : local;
+  const std::int8_t* wq = fl->w_q.data();
+  const float* wscale = fl->scale.data();
+  const float* bias = fl->b_f32.data();
+  for (std::int64_t b = 0; b < is.n; ++b) {
+    // Dynamic per-tensor activation quantization; an all-zero input gets
+    // scale 1 and a zero accumulator, so the output is exactly the bias.
+    const float* xf = batch_as_f32(in, b, ws, ctx);
+    std::int8_t* xq = ws.qbuf(in_dim);
+    const float sx = quantize_symmetric(xf, in_dim, xq);
+    std::int32_t* acc = ws.ibuf(p.out_features);
+    T* dst = out.batch_ptr(b);
+    parallel_chunks(
+        ctx, p.out_features, [&](int, std::int64_t f0, std::int64_t f1) {
+          tensor::gemv_s8(f1 - f0, in_dim, wq + f0 * in_dim, xq, acc + f0);
+          for (std::int64_t f = f0; f < f1; ++f) {
+            float v = sx * wscale[f] * static_cast<float>(acc[f]) + bias[f];
+            if (fuse_relu && v < 0.0f) v = 0.0f;
+            dst[f] = tensor::scalar_cast<T>(v);
+          }
+        });
+  }
+}
+
 // Explicit instantiations for the two supported precisions.
 #define NCSW_INSTANTIATE_KERNELS(T)                                          \
   template void conv2d<T>(const Tensor<T>&, const LayerParams<T>&,           \
@@ -661,7 +1208,13 @@ void softmax(const Tensor<T>& in, Tensor<T>& out) {
   template void fully_connected<T>(const Tensor<T>&, const LayerParams<T>&,  \
                                    const FCParams&, Tensor<T>&,              \
                                    const ExecCtx&);                          \
-  template void softmax<T>(const Tensor<T>&, Tensor<T>&);
+  template void softmax<T>(const Tensor<T>&, Tensor<T>&);                    \
+  template void conv2d_fast<T>(const Tensor<T>&, const LayerParams<T>&,      \
+                               const FastLayer*, const ConvParams&, bool,    \
+                               Tensor<T>&, const ExecCtx&);                  \
+  template void fully_connected_fast<T>(                                     \
+      const Tensor<T>&, const LayerParams<T>&, const FastLayer*,             \
+      const FCParams&, bool, Tensor<T>&, const ExecCtx&);
 
 NCSW_INSTANTIATE_KERNELS(float)
 NCSW_INSTANTIATE_KERNELS(ncsw::fp16::half)

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nn/graph.h"
+#include "nn/quant.h"
 #include "nn/weights.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
@@ -44,9 +45,29 @@ class Workspace {
 
   /// Base of `count` disjoint per-task slices of `per_task` floats each;
   /// task t uses [base + t*per_task, base + (t+1)*per_task). Call before
-  /// fanning out.
+  /// fanning out. With the fast tier's stable chunk->worker mapping,
+  /// slice t is only ever touched by (pinned) worker t, so these act as
+  /// per-thread arenas that stay in the producing core's cache across
+  /// layers.
   float* slabs(int count, std::int64_t per_task) {
     return grow(slabs_, static_cast<std::int64_t>(count) * per_task);
+  }
+
+  /// FP32 bias panel (fast tier: FP16 biases expanded once per call).
+  float* bias(std::int64_t count) { return grow(bias_, count); }
+
+  /// int8 buffer for the fast tier's dynamic activation quantization.
+  std::int8_t* qbuf(std::int64_t count) {
+    const auto need = static_cast<std::size_t>(count);
+    if (q_.size() < need) q_.resize(need);
+    return q_.data();
+  }
+
+  /// int32 accumulator buffer for the int8 GEMV output.
+  std::int32_t* ibuf(std::int64_t count) {
+    const auto need = static_cast<std::size_t>(count);
+    if (i_.size() < need) i_.resize(need);
+    return i_.data();
   }
 
   /// FP32 expansion panels for the FP16 GEMM/GEMV.
@@ -55,9 +76,10 @@ class Workspace {
   /// Bytes reserved across all arenas (monotonically non-decreasing).
   std::size_t capacity_bytes() const noexcept {
     return (col_.capacity() + acts_.capacity() + out_.capacity() +
-            slabs_.capacity()) *
+            slabs_.capacity() + bias_.capacity()) *
                sizeof(float) +
-           gemm_.capacity_bytes();
+           q_.capacity() * sizeof(std::int8_t) +
+           i_.capacity() * sizeof(std::int32_t) + gemm_.capacity_bytes();
   }
 
  private:
@@ -67,7 +89,9 @@ class Workspace {
     return v.data();
   }
 
-  std::vector<float> col_, acts_, out_, slabs_;
+  std::vector<float> col_, acts_, out_, slabs_, bias_;
+  std::vector<std::int8_t> q_;
+  std::vector<std::int32_t> i_;
   tensor::GemmScratch gemm_;
 };
 
@@ -84,11 +108,27 @@ struct ExecCtx {
   /// Route GEMMs and element loops through the pre-PR scalar kernels
   /// (serial, per-layer allocation) — the recorded perf baseline.
   bool reference = false;
+  /// Opt-in fast tier (docs/performance.md): fused conv+bias+ReLU,
+  /// direct 3x3/1x1 convolution, int8 fully-connected layers, sqrt-based
+  /// LRN and affinity-aware chunk placement. Forfeits bit-identity with
+  /// the reference path (still deterministic across thread counts);
+  /// validated by the digest-tolerance tests. Off by default.
+  bool fast = false;
+  /// Graph-load-time fast-tier weights (FP32 panels + per-channel int8);
+  /// nullptr makes the fast kernels expand weights per call and keep the
+  /// fully-connected layers in FP32.
+  const QuantizedWeights* quant = nullptr;
 };
 
 /// The process-wide pool the kernels fan out on, created on first use
 /// with one worker per hardware thread.
 util::ThreadPool& compute_pool();
+
+/// The fast tier's pool: pinned workers with per-worker queues, created
+/// on first use. Chunk t of every fan-out is addressed to worker t, so a
+/// given output slab is always produced (and its inputs re-read) on the
+/// same core.
+util::ThreadPool& fast_pool();
 
 /// 2-D convolution via im2col + GEMM. `out` is resized to the batched
 /// output shape.
@@ -131,5 +171,29 @@ void fully_connected(const Tensor<T>& in, const LayerParams<T>& params,
 /// Channel-wise softmax (numerically stabilised; always computed in FP32).
 template <typename T>
 void softmax(const Tensor<T>& in, Tensor<T>& out);
+
+// --- fast tier -------------------------------------------------------------
+
+/// Fast-tier convolution: direct (im2col-free) specialisations for 3x3
+/// and stride-1 1x1 kernels, im2col+GEMM otherwise; FP32 accumulation
+/// with bias (and, when `fuse_relu`, the ReLU) applied before the single
+/// round to T — no intermediate activation round-trip. `fl` supplies the
+/// graph-load-time FP32 weight panel (nullptr expands per call). Not
+/// bit-identical to conv2d; deterministic across thread counts.
+template <typename T>
+void conv2d_fast(const Tensor<T>& in, const LayerParams<T>& params,
+                 const FastLayer* fl, const ConvParams& p, bool fuse_relu,
+                 Tensor<T>& out, const ExecCtx& ctx = {});
+
+/// Fast-tier fully connected on per-channel int8 weights: the activation
+/// is quantized dynamically (per-tensor symmetric scale), the GEMV
+/// accumulates in int32, and y[f] = scale_x*scale_w[f]*acc + b[f] (+
+/// optional fused ReLU) rounds once to T. Falls back to the FP32
+/// fully_connected when `fl` is nullptr.
+template <typename T>
+void fully_connected_fast(const Tensor<T>& in, const LayerParams<T>& params,
+                          const FastLayer* fl, const FCParams& p,
+                          bool fuse_relu, Tensor<T>& out,
+                          const ExecCtx& ctx = {});
 
 }  // namespace ncsw::nn::kernels

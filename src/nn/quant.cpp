@@ -1,0 +1,65 @@
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "half/half.h"
+
+namespace ncsw::nn {
+
+float quantize_symmetric(const float* src, std::int64_t n,
+                         std::int8_t* dst) noexcept {
+  float maxabs = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    maxabs = std::max(maxabs, std::fabs(src[i]));
+  }
+  // An all-zero span quantizes to zeros under any positive scale; 1.0
+  // keeps the dequantized values exact and the scale finite.
+  const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const long q = std::lroundf(src[i] * inv);
+    dst[i] = static_cast<std::int8_t>(
+        std::clamp<long>(q, -127, 127));
+  }
+  return scale;
+}
+
+template <typename T>
+QuantizedWeights quantize_weights(const Graph& graph,
+                                  const Weights<T>& weights) {
+  QuantizedWeights out;
+  for (const Layer& l : graph.layers()) {
+    if (!Graph::has_weights(l.kind)) continue;
+    const LayerParams<T>& p = weights.at(l.name);
+    FastLayer& fl = out.add(l.name);
+    fl.rows = p.w.shape().n;
+    fl.cols = p.w.numel() / std::max<std::int64_t>(fl.rows, 1);
+    fl.w_f32.resize(static_cast<std::size_t>(p.w.numel()));
+    fl.b_f32.resize(static_cast<std::size_t>(p.b.numel()));
+    if constexpr (std::is_same_v<T, float>) {
+      std::copy(p.w.data(), p.w.data() + p.w.numel(), fl.w_f32.begin());
+      std::copy(p.b.data(), p.b.data() + p.b.numel(), fl.b_f32.begin());
+    } else {
+      ncsw::fp16::half_to_float_span(p.w.data(), fl.w_f32.data(),
+                                     static_cast<std::size_t>(p.w.numel()));
+      ncsw::fp16::half_to_float_span(p.b.data(), fl.b_f32.data(),
+                                     static_cast<std::size_t>(p.b.numel()));
+    }
+    fl.w_q.resize(fl.w_f32.size());
+    fl.scale.resize(static_cast<std::size_t>(fl.rows));
+    for (std::int64_t r = 0; r < fl.rows; ++r) {
+      fl.scale[static_cast<std::size_t>(r)] =
+          quantize_symmetric(fl.w_f32.data() + r * fl.cols, fl.cols,
+                             fl.w_q.data() + r * fl.cols);
+    }
+  }
+  return out;
+}
+
+template QuantizedWeights quantize_weights<float>(const Graph&,
+                                                  const Weights<float>&);
+template QuantizedWeights quantize_weights<ncsw::fp16::half>(
+    const Graph&, const Weights<ncsw::fp16::half>&);
+
+}  // namespace ncsw::nn

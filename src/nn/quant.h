@@ -1,0 +1,65 @@
+// Fast-tier weight preparation (docs/performance.md): a graph-load-time
+// pass over every Conv/FC layer that produces, per layer, an FP32 panel
+// of the weights/bias (so the FP16 hot loop never re-expands them) and a
+// per-output-channel symmetric int8 quantization (scale = max|w|/127,
+// no zero point). The executor applies the int8 path to fully-connected
+// layers — their GEMV is weight-bandwidth-bound, so int8 cuts the
+// traffic 4x (2x vs FP16) — and uses the FP32 panels for convolutions,
+// whose GEMM is compute-bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/weights.h"
+
+namespace ncsw::nn {
+
+/// One Conv/FC layer's parameters prepared for the fast tier.
+struct FastLayer {
+  std::int64_t rows = 0;     ///< output channels / features
+  std::int64_t cols = 0;     ///< reduction dim (inC*k*k, or in_dim for FC)
+  std::vector<float> w_f32;  ///< row-major FP32 weights [rows x cols]
+  std::vector<float> b_f32;  ///< FP32 bias [rows]
+  std::vector<std::int8_t> w_q;  ///< row-major int8 weights [rows x cols]
+  std::vector<float> scale;      ///< per-row quantization scales [rows]
+};
+
+/// The quantization pass output: one FastLayer per parameterised layer,
+/// keyed by layer name. Computed once per model (HostTarget::set_fast,
+/// or before a bench's timing loop) and shared read-only by every
+/// forward pass.
+class QuantizedWeights {
+ public:
+  /// The prepared layer, or nullptr when `name` was not in the pass.
+  const FastLayer* find(const std::string& name) const noexcept {
+    auto it = map_.find(name);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Insert (or fetch) the entry for `name`.
+  FastLayer& add(const std::string& name) { return map_[name]; }
+
+  /// Number of prepared layers.
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, FastLayer> map_;
+};
+
+/// Symmetric int8 quantization of one span: returns the scale
+/// (max|src|/127, or 1.0 when the span is all zero — never 0 or NaN)
+/// and writes round(src/scale) clamped to [-127, 127] into dst.
+float quantize_symmetric(const float* src, std::int64_t n,
+                         std::int8_t* dst) noexcept;
+
+/// Run the pass over every Conv/FC layer of `graph`. FP16 weights are
+/// expanded exactly; scales are always FP32.
+template <typename T>
+QuantizedWeights quantize_weights(const Graph& graph,
+                                  const Weights<T>& weights);
+
+}  // namespace ncsw::nn

@@ -67,6 +67,38 @@ void gemv_f16(std::int64_t m, std::int64_t k, const ncsw::fp16::half* a,
               const ncsw::fp16::half* x, float beta, ncsw::fp16::half* y,
               GemmScratch* scratch = nullptr) noexcept;
 
+// --- FP32 fast-tier GEMM --------------------------------------------------
+
+/// Fast-tier FP32 GEMM: C = A*B over strided row-major panels
+/// (lda >= k, ldb/ldc >= n; C is overwritten). Unlike gemm_f32 this
+/// kernel is NOT bit-identical to the reference path: it drops the
+/// zero-skip branches, permits FMA contraction, and is compiled per ISA
+/// level (x86-64-v3/v4 function multiversioning) so the baseline build
+/// stays generic. It is still deterministic for a given machine and
+/// inputs — every output element accumulates its k terms in ascending
+/// order, independent of how callers split C by column range.
+void gemm_f32_fast(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const float* a, std::int64_t lda, const float* b,
+                   std::int64_t ldb, float* c, std::int64_t ldc) noexcept;
+
+// --- int8 fast-tier kernels -----------------------------------------------
+// Quantized arithmetic for the opt-in fast host tier (docs/
+// performance.md): operands are symmetric int8 (no zero point),
+// accumulation is int32 — exact, since |a*b| <= 127^2 and k < 2^24 for
+// every layer in the zoo. Callers apply the per-channel scales on the
+// way out; the kernels themselves are integer-only.
+
+/// int8 GEMM with int32 accumulation: c[m x n] = a[m x k] * b[k x n].
+/// Row-major, dense; c is overwritten.
+void gemm_s8(std::int64_t m, std::int64_t n, std::int64_t k,
+             const std::int8_t* a, const std::int8_t* b,
+             std::int32_t* c) noexcept;
+
+/// int8 GEMV with int32 accumulation: y[m] = a[m x k] * x[k] — identical
+/// to gemm_s8 with n = 1.
+void gemv_s8(std::int64_t m, std::int64_t k, const std::int8_t* a,
+             const std::int8_t* x, std::int32_t* y) noexcept;
+
 // --- pre-PR reference kernels ---------------------------------------------
 // The scalar kernels this tree shipped before the blocked/threaded
 // rewrite, kept verbatim: the golden tests assert the optimised kernels

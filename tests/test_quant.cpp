@@ -1,0 +1,226 @@
+#include "nn/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/weights.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ncsw::nn;
+using ncsw::tensor::gemm_s8;
+using ncsw::tensor::gemv_s8;
+
+std::vector<float> random_span(std::int64_t n, std::uint64_t seed,
+                               double lo = -1.0, double hi = 1.0) {
+  ncsw::util::Xoshiro256 rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+TEST(QuantizeSymmetric, RoundTripWithinHalfScale) {
+  const auto src = random_span(257, 1);
+  std::vector<std::int8_t> q(src.size());
+  const float scale = quantize_symmetric(src.data(),
+                                         static_cast<std::int64_t>(src.size()),
+                                         q.data());
+  ASSERT_GT(scale, 0.0f);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    // round(x/s) is at most half a step away from x/s.
+    EXPECT_LE(std::fabs(src[i] - static_cast<float>(q[i]) * scale),
+              scale * 0.5f + 1e-7f)
+        << "element " << i;
+  }
+}
+
+TEST(QuantizeSymmetric, ExtremesSaturateAt127) {
+  // The max-magnitude element must land exactly on +/-127 and nothing may
+  // exceed the int8 symmetric range.
+  std::vector<float> src = {0.5f, -2.0f, 1.0f, 2.0f, -0.25f};
+  std::vector<std::int8_t> q(src.size());
+  const float scale = quantize_symmetric(src.data(), 5, q.data());
+  EXPECT_FLOAT_EQ(scale, 2.0f / 127.0f);
+  EXPECT_EQ(q[1], -127);
+  EXPECT_EQ(q[3], 127);
+  for (auto v : q) {
+    EXPECT_GE(v, -127);
+    EXPECT_LE(v, 127);
+  }
+}
+
+TEST(QuantizeSymmetric, AllZeroSpanScaleIsOneNotZeroOrNaN) {
+  std::vector<float> src(32, 0.0f);
+  std::vector<std::int8_t> q(src.size(), 99);
+  const float scale = quantize_symmetric(src.data(), 32, q.data());
+  EXPECT_FALSE(std::isnan(scale));
+  EXPECT_FLOAT_EQ(scale, 1.0f);
+  for (auto v : q) EXPECT_EQ(v, 0);
+}
+
+TEST(QuantizeSymmetric, SingleElement) {
+  const float x = -0.375f;
+  std::int8_t q = 0;
+  const float scale = quantize_symmetric(&x, 1, &q);
+  EXPECT_EQ(q, -127);
+  EXPECT_NEAR(static_cast<float>(q) * scale, x, 1e-7f);
+}
+
+Graph two_layer_graph() {
+  Graph g("quant");
+  const int in = g.add_input("data", 3, 6, 6);
+  const int c1 = g.add_conv("conv1", in, ConvParams{4, 3, 1, 1});
+  const int r1 = g.add_relu("relu1", c1);
+  PoolParams gp;
+  gp.global = true;
+  const int pool = g.add_avg_pool("gap", r1, gp);
+  const int fc = g.add_fc("fc", pool, FCParams{5});
+  g.add_softmax("prob", fc);
+  return g;
+}
+
+TEST(QuantizeWeights, PerLayerPanelsAndScales) {
+  const Graph g = two_layer_graph();
+  const WeightsF w = init_msra(g, 7);
+  const QuantizedWeights qw = quantize_weights(g, w);
+
+  // Only the parameterised layers appear in the pass.
+  EXPECT_EQ(qw.size(), 2u);
+  EXPECT_EQ(qw.find("relu1"), nullptr);
+
+  const FastLayer* conv = qw.find("conv1");
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->rows, 4);
+  EXPECT_EQ(conv->cols, 3 * 3 * 3);
+  const FastLayer* fc = qw.find("fc");
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->rows, 5);
+  EXPECT_EQ(fc->cols, 4);
+
+  for (const FastLayer* fl : {conv, fc}) {
+    ASSERT_EQ(fl->w_f32.size(),
+              static_cast<std::size_t>(fl->rows * fl->cols));
+    ASSERT_EQ(fl->w_q.size(), fl->w_f32.size());
+    ASSERT_EQ(fl->scale.size(), static_cast<std::size_t>(fl->rows));
+    ASSERT_EQ(fl->b_f32.size(), static_cast<std::size_t>(fl->rows));
+    for (std::int64_t r = 0; r < fl->rows; ++r) {
+      const float s = fl->scale[static_cast<std::size_t>(r)];
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_GT(s, 0.0f);
+      // Per-row round trip stays within half a quantization step.
+      for (std::int64_t c = 0; c < fl->cols; ++c) {
+        const std::size_t i = static_cast<std::size_t>(r * fl->cols + c);
+        EXPECT_LE(std::fabs(fl->w_f32[i] -
+                            static_cast<float>(fl->w_q[i]) * s),
+                  s * 0.5f + 1e-7f);
+      }
+    }
+  }
+
+  // The FP32 panel is the weights verbatim (row-major oc x (ic*k*k)).
+  const auto& conv_w = w.at("conv1").w;
+  for (std::int64_t i = 0; i < conv_w.numel(); ++i) {
+    EXPECT_EQ(conv->w_f32[static_cast<std::size_t>(i)], conv_w[i]);
+  }
+}
+
+TEST(QuantizeWeights, Fp16WeightsExpandExactly) {
+  const Graph g = two_layer_graph();
+  const WeightsF wf = init_msra(g, 8);
+  const WeightsH wh = to_fp16(wf);
+  const QuantizedWeights qw = quantize_weights(g, wh);
+  const FastLayer* conv = qw.find("conv1");
+  ASSERT_NE(conv, nullptr);
+  const auto& hw = wh.at("conv1").w;
+  for (std::int64_t i = 0; i < hw.numel(); ++i) {
+    EXPECT_EQ(conv->w_f32[static_cast<std::size_t>(i)], hw[i].to_float());
+  }
+}
+
+TEST(QuantizeWeights, AllZeroOutputChannelIsSafe) {
+  Graph g("zero");
+  const int in = g.add_input("data", 1, 4, 4);
+  g.add_conv("conv", in, ConvParams{2, 3, 1, 1});
+  WeightsF w = init_msra(g, 9);
+  auto& lp = w["conv"];
+  for (std::int64_t i = 0; i < lp.w.numel() / 2; ++i) lp.w[i] = 0.0f;  // row 0
+  const QuantizedWeights qw = quantize_weights(g, w);
+  const FastLayer* fl = qw.find("conv");
+  ASSERT_NE(fl, nullptr);
+  EXPECT_FLOAT_EQ(fl->scale[0], 1.0f);
+  EXPECT_FALSE(std::isnan(fl->scale[0]));
+  for (std::int64_t c = 0; c < fl->cols; ++c) {
+    EXPECT_EQ(fl->w_q[static_cast<std::size_t>(c)], 0);
+  }
+  EXPECT_GT(fl->scale[1], 0.0f);
+}
+
+// int32 reference for the int8 kernels.
+void gemm_s8_ref(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int8_t* a, const std::int8_t* b,
+                 std::int32_t* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(a[i * k + kk]) *
+               static_cast<std::int32_t>(b[kk * n + j]);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+std::vector<std::int8_t> random_s8(std::int64_t n, std::uint64_t seed) {
+  ncsw::util::Xoshiro256 rng(seed);
+  std::vector<std::int8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(
+        static_cast<int>(rng.uniform(-127.49, 127.49)));
+  }
+  return v;
+}
+
+TEST(GemmS8, MatchesInt32Reference) {
+  for (const auto& [m, n, k] :
+       {std::tuple<int, int, int>{1, 1, 1}, {3, 5, 7}, {17, 16, 33},
+        {8, 19, 64}}) {
+    const auto a = random_s8(m * k, 21);
+    const auto b = random_s8(k * n, 22);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), -1);
+    std::vector<std::int32_t> ref(c.size(), -2);
+    gemm_s8(m, n, k, a.data(), b.data(), c.data());
+    gemm_s8_ref(m, n, k, a.data(), b.data(), ref.data());
+    EXPECT_EQ(c, ref) << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(GemmS8, SaturatedOperandsDoNotOverflow) {
+  // 127*127 * k at the int8 extremes stays well inside int32 for the
+  // layer sizes this tree uses; check exactness at full magnitude.
+  const std::int64_t k = 1024;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(k), 127);
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k), -127);
+  std::int32_t y = 0;
+  gemv_s8(1, k, a.data(), b.data(), &y);
+  EXPECT_EQ(y, -127 * 127 * static_cast<std::int32_t>(k));
+}
+
+TEST(GemvS8, MatchesGemmWithN1) {
+  const std::int64_t m = 29, k = 65;
+  const auto a = random_s8(m * k, 31);
+  const auto x = random_s8(k, 32);
+  std::vector<std::int32_t> y(static_cast<std::size_t>(m), -1);
+  std::vector<std::int32_t> ref(y.size(), -2);
+  gemv_s8(m, k, a.data(), x.data(), y.data());
+  gemm_s8(m, 1, k, a.data(), x.data(), ref.data());
+  EXPECT_EQ(y, ref);
+}
+
+}  // namespace
