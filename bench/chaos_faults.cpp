@@ -13,6 +13,7 @@
 //
 // Everything runs on the simulated clock from a scripted FaultPlan, so
 // the whole chaos suite is reproducible bit-for-bit.
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,37 @@ int main(int argc, char** argv) {
   cli.add_double("detach-at", 1.0, "detach start of the hot-replug case");
   cli.add_double("detach-for", 1.5, "detach duration of the hot-replug case");
   bench::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos_faults: %s\n", e.what());
+    return 2;
+  }
+  auto usage_error = [](const char* what) {
+    std::fprintf(stderr, "chaos_faults: %s\n", what);
+    return 2;
+  };
+  if (cli.get_int("images") < 1) {
+    return usage_error("--images must be >= 1");
+  }
+  if (cli.get_int("devices") < 1) {
+    return usage_error("--devices must be >= 1");
+  }
+  if (cli.get_int("seed") < 0) {
+    return usage_error("--seed must be >= 0");
+  }
+  if (!(cli.get_double("watchdog") > 0.0)) {
+    return usage_error("--watchdog must be > 0 (simulated seconds)");
+  }
+  if (!(cli.get_double("mean-fault-s") > 0.0)) {
+    return usage_error("--mean-fault-s must be > 0 (simulated seconds)");
+  }
+  if (cli.get_double("detach-at") < 0.0) {
+    return usage_error("--detach-at must be >= 0 (simulated seconds)");
+  }
+  if (!(cli.get_double("detach-for") > 0.0)) {
+    return usage_error("--detach-for must be > 0 (simulated seconds)");
+  }
   bench::setup(cli);
 
   const std::int64_t images = cli.get_int("images");

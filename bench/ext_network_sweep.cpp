@@ -4,6 +4,8 @@
 // stick): latency, throughput, energy and img/W for every network in the
 // zoo on one simulated NCS, next to the CPU/GPU reference models scaled
 // by each network's MAC count.
+#include <cstdio>
+
 #include "bench_common.h"
 #include "devices/host_models.h"
 #include "graphc/compiler.h"
@@ -16,7 +18,12 @@ int main(int argc, char** argv) {
   util::Cli cli("ext_network_sweep",
                 "E8 — every zoo network on one stick vs CPU/GPU");
   bench::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ext_network_sweep: %s\n", e.what());
+    return 2;
+  }
   bench::setup(cli);
 
   const auto cpu = devices::make_cpu_model();

@@ -3,6 +3,8 @@
 // option the paper's Section II-B describes). Prints the slowest layers
 // and per-kind aggregates.
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <map>
 
 #include "bench_common.h"
@@ -17,7 +19,18 @@ int main(int argc, char** argv) {
                 "option");
   cli.add_int("top", 15, "how many of the slowest layers to list");
   bench::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 0;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "layer_profile: %s\n", e.what());
+    return 2;
+  }
+  if (cli.get_int("top") < 1) {
+    std::fprintf(stderr,
+                 "layer_profile: --top must be >= 1 (got %" PRId64 ")\n",
+                 cli.get_int("top"));
+    return 2;
+  }
   bench::setup(cli);
 
   auto bundle = core::ModelBundle::googlenet_reference();

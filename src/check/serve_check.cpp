@@ -26,6 +26,12 @@ const char* serve_violation_name(ServeViolationKind kind) {
       return "ledger-conservation";
     case ServeViolationKind::kNegativeLive:
       return "negative-live";
+    case ServeViolationKind::kSwapWhileInflight:
+      return "swap-while-inflight";
+    case ServeViolationKind::kWrongModelDispatch:
+      return "wrong-model-dispatch";
+    case ServeViolationKind::kResidencyConservation:
+      return "residency-conservation";
   }
   return "?";
 }
@@ -184,6 +190,53 @@ void ServeVerifier::on_session_finish(
                std::to_string(completed) + " completed + " +
                std::to_string(rejected) + " rejected + " +
                std::to_string(dropped) + " dropped");
+  }
+}
+
+void ServeVerifier::on_swap_begin(const std::string& stick,
+                                  const std::string& from_model,
+                                  const std::string& to_model, int inflight,
+                                  double t) {
+  if (!enabled()) return;
+  if (inflight == 0) return;
+  std::unique_lock lock(mutex_);
+  report(lock, ServeViolationKind::kSwapWhileInflight, stick, t,
+         "swap " + from_model + " -> " + to_model + " started with " +
+             std::to_string(inflight) +
+             " ticket(s) outstanding; drain before deallocating");
+}
+
+void ServeVerifier::on_zoo_dispatch(const std::string& stick,
+                                    const std::string& resident,
+                                    const std::string& requested, double t) {
+  if (!enabled()) return;
+  if (resident == requested) return;
+  std::unique_lock lock(mutex_);
+  report(lock, ServeViolationKind::kWrongModelDispatch, stick, t,
+         "dispatching " + requested + " work to a stick resident with " +
+             (resident.empty() ? std::string("no graph") : resident));
+}
+
+void ServeVerifier::on_zoo_finish(const std::string& scope,
+                                  std::int64_t offered, std::int64_t completed,
+                                  std::int64_t rejected, std::int64_t dropped,
+                                  std::int64_t installs, std::int64_t evicts,
+                                  std::int64_t resident, double t) {
+  if (!enabled()) return;
+  std::unique_lock lock(mutex_);
+  if (completed + rejected + dropped != offered) {
+    report(lock, ServeViolationKind::kResidencyConservation, scope, t,
+           std::to_string(offered) + " offered != " +
+               std::to_string(completed) + " completed + " +
+               std::to_string(rejected) + " rejected + " +
+               std::to_string(dropped) + " dropped");
+    return;
+  }
+  if (installs - evicts != resident) {
+    report(lock, ServeViolationKind::kResidencyConservation, scope, t,
+           std::to_string(installs) + " install(s) - " +
+               std::to_string(evicts) + " evict(s) != " +
+               std::to_string(resident) + " resident graph(s)");
   }
 }
 

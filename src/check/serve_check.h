@@ -61,9 +61,12 @@ enum class ServeViolationKind : int {
   kDuplicateDelivery,    ///< cluster delivered one request id twice
   kLedgerConservation,   ///< cluster totals do not partition admitted
   kNegativeLive,         ///< a ledger live-copy count went below zero
+  kSwapWhileInflight,    ///< graph swap started with tickets outstanding
+  kWrongModelDispatch,   ///< work dispatched to a stick resident elsewhere
+  kResidencyConservation,  ///< zoo installs/evicts/residents do not balance
 };
 
-constexpr int kServeViolationKindCount = 9;
+constexpr int kServeViolationKindCount = 12;
 
 /// Stable kebab-case name ("window-exceeded", "wait-after-cancel", ...),
 /// used for metrics ("check.violation.<name>") and trace instants.
@@ -136,6 +139,26 @@ class ServeVerifier {
                          std::int64_t dropped_inflight,
                          std::int64_t dropped_failover,
                          std::int64_t unaccounted, double t);
+
+  // -- Graph residency (called from core::StickFleet / serve::ZooServer).
+  /// A stick is about to swap its resident graph. `inflight` is the
+  /// stick target's outstanding-ticket count at the swap decision;
+  /// anything above zero is kSwapWhileInflight — the drain-then-swap
+  /// lifecycle (docs/architecture.md) was bypassed.
+  void on_swap_begin(const std::string& stick, const std::string& from_model,
+                     const std::string& to_model, int inflight, double t);
+  /// Work for `requested` is being dispatched to `stick`, whose resident
+  /// model is `resident`. A mismatch is kWrongModelDispatch: the router
+  /// handed a tenant's request to a stick serving another tenant.
+  void on_zoo_dispatch(const std::string& stick, const std::string& resident,
+                       const std::string& requested, double t);
+  /// A zoo serving run ended. Requests must partition (offered ==
+  /// completed + rejected + dropped) and residency must conserve:
+  /// `installs` - `evicts` must equal `resident` graphs still installed.
+  void on_zoo_finish(const std::string& scope, std::int64_t offered,
+                     std::int64_t completed, std::int64_t rejected,
+                     std::int64_t dropped, std::int64_t installs,
+                     std::int64_t evicts, std::int64_t resident, double t);
 
   // -- Ledger conservation (called from the cluster event loop). --
   /// A cluster run is starting: forget per-run delivery/live state.

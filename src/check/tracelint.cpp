@@ -100,6 +100,18 @@ struct ClusterRollup {
   double last_ts = 0.0;
 };
 
+// Whole-trace zoo rollup: "zoo run" summary spans (serve::ZooServer)
+// against the "swap" spans the stick fleet emitted. Zoo lanes can be
+// phase-prefixed, so — like the cluster rollup — the swap-count check
+// runs in aggregate over the file; it assumes every fleet swap in the
+// trace was driven by a ZooServer run (true for every zoo bench).
+struct ZooRollup {
+  std::int64_t summaries = 0;
+  std::int64_t swaps = 0;       // summed "swaps" summary args
+  std::int64_t swap_spans = 0;  // cat "zoo" name "swap" spans seen
+  double last_ts = 0.0;
+};
+
 // Timestamps and durations are serialised with %.12g (12 significant
 // digits), so back-to-back spans can disagree by half an ulp of the
 // 12th digit — an error that grows with the magnitude of the simulated
@@ -195,6 +207,7 @@ LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
   std::map<int, LaneState> lanes;
   std::map<std::string, ServeRollup> serves;
   ClusterRollup clus;
+  ZooRollup zoo;
   auto as_count = [](double v) {
     return static_cast<std::int64_t>(std::llround(v));
   };
@@ -311,6 +324,41 @@ LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
                    std::to_string(deadline) + " + lost " +
                    std::to_string(lost));
         }
+      } else if (name == "zoo run") {
+        ++zoo.summaries;
+        const std::int64_t offered =
+            as_count(num_or(ev.at_path({"args", "offered"}), 0));
+        const std::int64_t accepted =
+            as_count(num_or(ev.at_path({"args", "accepted"}), 0));
+        const std::int64_t completed =
+            as_count(num_or(ev.at_path({"args", "completed"}), 0));
+        const std::int64_t rejected =
+            as_count(num_or(ev.at_path({"args", "rejected"}), 0));
+        const std::int64_t dropped =
+            as_count(num_or(ev.at_path({"args", "dropped"}), 0));
+        const std::int64_t hits =
+            as_count(num_or(ev.at_path({"args", "hits"}), 0));
+        const std::int64_t misses =
+            as_count(num_or(ev.at_path({"args", "misses"}), 0));
+        zoo.swaps += as_count(num_or(ev.at_path({"args", "swaps"}), 0));
+        zoo.last_ts = ts;
+        // Zoo terminal-state closure: every offered request leaves the
+        // run exactly one way, and the hit/miss classification covers
+        // exactly what admission accepted.
+        if (offered != completed + rejected + dropped) {
+          flag("zoo-accounting", lane_name(tid), ts,
+               "offered " + std::to_string(offered) + " != completed " +
+                   std::to_string(completed) + " + rejected " +
+                   std::to_string(rejected) + " + dropped " +
+                   std::to_string(dropped));
+        } else if (hits + misses != accepted) {
+          flag("zoo-accounting", lane_name(tid), ts,
+               "hits " + std::to_string(hits) + " + misses " +
+                   std::to_string(misses) + " != accepted " +
+                   std::to_string(accepted));
+        }
+      } else if (name == "swap" && str_or(ev.find("cat"), "") == "zoo") {
+        ++zoo.swap_spans;
       }
     }
 
@@ -396,6 +444,15 @@ LintReport lint_trace(const util::JsonValue& doc, const LintOptions& opts) {
                " completed request(s) but the summary completed " +
                std::to_string(sr.completed));
     }
+  }
+  // Every fleet swap span must be claimed by some zoo run's `swaps`
+  // counter (and vice versa): a mismatch means swaps ran outside the
+  // accounted serving path, or a run under-reported its stalls.
+  if (zoo.summaries > 0 && zoo.swap_spans != zoo.swaps) {
+    flag("zoo-accounting", "zoo sched", zoo.last_ts,
+         std::to_string(zoo.swap_spans) +
+             " swap span(s) but zoo run summaries swapped " +
+             std::to_string(zoo.swaps));
   }
   if (clus.summaries > 0) {
     // Hedge/replay duplicate accounting: every counted hedge or

@@ -36,7 +36,8 @@ struct LintIssue {
                        ///< "negative-duration", "serve-accounting",
                        ///< "ticket-accounting", "cluster-conservation",
                        ///< "cluster-event-mismatch",
-                       ///< "cluster-request-conservation"
+                       ///< "cluster-request-conservation",
+                       ///< "zoo-accounting"
   std::string lane;    ///< lane (thread) name, empty for file-level issues
   double ts_us = 0.0;  ///< timestamp of the offending event (microseconds)
   std::string detail;

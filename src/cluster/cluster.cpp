@@ -298,14 +298,17 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
   // Route within the replica set: unobserved nodes first (explore),
   // then the least expected wait (queued + in-flight work over the
   // node's clearing-rate estimate); ties keep ring preference order.
-  auto pick_node = [&](const std::vector<int>& prefs, bool need_capacity) {
+  // Capacity is judged per class: a node whose queue has room but whose
+  // class quota for this request is exhausted does not count.
+  auto pick_node = [&](const std::vector<int>& prefs, bool need_capacity,
+                       serve::SloClass slo) {
     int best = -1;
     bool best_unobs = false;
     double best_wait = kInf;
     for (const int n : prefs) {
       if (!eligible(n)) continue;
       const NodeState& ns = nodes[static_cast<std::size_t>(n)];
-      if (need_capacity && !ns.session->has_capacity()) continue;
+      if (need_capacity && !ns.session->has_capacity_for(slo)) continue;
       const bool unobs = !ns.observed;
       const double backlog = static_cast<double>(ns.session->queue_depth() +
                                                  ns.session->inflight());
@@ -328,9 +331,9 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
   for (int i = 0; i < n_nodes; ++i) all_nodes[static_cast<std::size_t>(i)] = i;
   std::set<std::pair<int, std::string>> spill_resident;
   auto pick_spill = [&](const std::string& model, bool need_capacity,
-                        double t) {
+                        serve::SloClass slo, double t) {
     if (!config_.spill) return -1;
-    const int n = pick_node(all_nodes, need_capacity);
+    const int n = pick_node(all_nodes, need_capacity, slo);
     if (n < 0) return -1;
     if (spill_resident.emplace(n, model).second) {
       ++nodes[static_cast<std::size_t>(n)].resident_models;
@@ -425,8 +428,11 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
         Ledger& led = ledger[item.req.id];
         if (led.completed || led.terminal || led.live > 0) continue;
         const std::string model = model_of(item.req);
-        int n = pick_node(prefs_for(model), /*need_capacity=*/false);
-        if (n < 0) n = pick_spill(model, /*need_capacity=*/false, t);
+        int n = pick_node(prefs_for(model), /*need_capacity=*/false,
+                          item.req.slo);
+        if (n < 0) {
+          n = pick_spill(model, /*need_capacity=*/false, item.req.slo, t);
+        }
         if (n < 0) {
           parked.push_back(std::move(item));
           m_parked.add(1);
@@ -706,10 +712,14 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
         const bool quarantined =
             was_schedulable && !slow.health->schedulable();
         // Deadline-aware duplicate: only hedge when the copy could
-        // still beat its queue deadline on another replica.
+        // still beat its queue deadline on another replica, and only
+        // for classes up to hedge_max_class — batch work never pays
+        // for speculative duplicates.
         const double deadline_s =
             led.req.arrival_s + config_.node.queue_deadline_s;
-        if (led.hedges < config_.max_hedges && now < deadline_s) {
+        if (led.hedges < config_.max_hedges && now < deadline_s &&
+            static_cast<int>(led.req.slo) <=
+                static_cast<int>(config_.hedge_max_class)) {
           const auto& prefs = prefs_for(model_of(led.req));
           int best = -1;
           bool best_unobs = false;
@@ -717,7 +727,7 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
           for (const int n : prefs) {
             if (n == h.node || !eligible(n)) continue;
             const NodeState& ns = nodes[static_cast<std::size_t>(n)];
-            if (!ns.session->has_capacity()) continue;
+            if (!ns.session->has_capacity_for(led.req.slo)) continue;
             const bool unobs = !ns.observed;
             const double wait =
                 static_cast<double>(ns.session->queue_depth() +
@@ -758,8 +768,10 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
         Ledger& led = it->second;
         led.req = req;
         const std::string model = model_of(req);
-        int n = pick_node(prefs_for(model), /*need_capacity=*/true);
-        if (n < 0) n = pick_spill(model, /*need_capacity=*/true, now);
+        int n = pick_node(prefs_for(model), /*need_capacity=*/true, req.slo);
+        if (n < 0) {
+          n = pick_spill(model, /*need_capacity=*/true, req.slo, now);
+        }
         if (n < 0) {
           // Admission control at cluster granularity: every live
           // replica of this model is saturated (or down).
@@ -806,6 +818,7 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
   }
   report.records.reserve(ledger.size());
   std::vector<double> latencies;
+  std::array<std::vector<double>, serve::kSloClassCount> class_latencies;
   for (auto& [id, led] : ledger) {
     ClusterRecord rec;
     rec.id = id;
@@ -820,10 +833,30 @@ ClusterReport Cluster::run(const std::vector<serve::Request>& requests) {
       rec.state = RequestState::kLost;
       ++report.requests_lost;
     }
+    auto& cs = report.classes[static_cast<std::size_t>(led.req.slo)];
+    ++cs.offered;
+    switch (rec.state) {
+      case RequestState::kCompleted:
+        ++cs.completed;
+        break;
+      case RequestState::kRejected:
+        ++cs.rejected;
+        break;
+      case RequestState::kDeadline:
+      case RequestState::kLost:
+        ++cs.dropped;
+        break;
+    }
     if (rec.state == RequestState::kCompleted) {
-      latencies.push_back((rec.finish_s - rec.arrival_s) * 1e3);
+      const double ms = (rec.finish_s - rec.arrival_s) * 1e3;
+      latencies.push_back(ms);
+      class_latencies[static_cast<std::size_t>(led.req.slo)].push_back(ms);
     }
     report.records.push_back(rec);
+  }
+  for (std::size_t c = 0; c < serve::kSloClassCount; ++c) {
+    report.classes[c].p99_ms =
+        util::percentile(std::move(class_latencies[c]), 99.0);
   }
   // Crash replays and hedge duplicates are copies of one ledger entry,
   // so the terminal states must still partition what was admitted.

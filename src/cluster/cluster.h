@@ -39,6 +39,7 @@
 // always produces byte-identical reports and traces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -74,6 +75,11 @@ struct ClusterConfig {
   /// Per-request hedge budget (replays after an eviction are always
   /// allowed — bounding them would turn a crash into lost requests).
   int max_hedges = 1;
+  /// Most latency-tolerant SLO class still allowed to hedge: classes
+  /// beyond it (kBatch by default) ride out a wedge instead of firing
+  /// speculative duplicates — batch work has no deadline worth paying
+  /// duplicate device time for.
+  serve::SloClass hedge_max_class = serve::SloClass::kStandard;
   /// Simulated seconds to re-load one resident model's graph when a
   /// crashed node rejoins (rejoin delay = resident models x this).
   double residency_load_s = 0.25;
@@ -157,6 +163,10 @@ struct ClusterReport {
   /// visibility: how long a request stranded by a kill waited for its
   /// replica to serve it).
   util::RunningStats failover_ms;
+  /// Per-SLO-class rollup across the cluster (deadline drops and lost
+  /// requests both count as `dropped` here; `p99_ms` covers completed
+  /// requests of that class only).
+  std::array<serve::ClassStats, serve::kSloClassCount> classes{};
   std::vector<NodeReport> nodes;
   /// One entry per offered request, ordered by request id.
   std::vector<ClusterRecord> records;

@@ -1,12 +1,26 @@
 #include "core/model.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "nn/zoo.h"
 
 namespace ncsw::core {
 
 std::shared_ptr<const ModelBundle> ModelBundle::googlenet_reference() {
   auto bundle = std::make_shared<ModelBundle>();
   bundle->graph = nn::build_googlenet();
+  bundle->compiled_f16 =
+      graphc::compile(bundle->graph, graphc::Precision::kFP16);
+  bundle->graph_blob = graphc::serialize(bundle->compiled_f16);
+  bundle->macs = bundle->compiled_f16.total_macs();
+  return bundle;
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::zoo_reference(
+    const std::string& name) {
+  auto bundle = std::make_shared<ModelBundle>();
+  bundle->graph = nn::build_named_network(name);  // throws on unknown names
   bundle->compiled_f16 =
       graphc::compile(bundle->graph, graphc::Precision::kFP16);
   bundle->graph_blob = graphc::serialize(bundle->compiled_f16);

@@ -40,6 +40,14 @@ struct ModelBundle {
   /// all throughput / scaling / power figures.
   static std::shared_ptr<const ModelBundle> googlenet_reference();
 
+  /// Timing-only bundle of a named zoo network ("googlenet", "alexnet",
+  /// "squeezenet", "tiny"; see nn::build_named_network). The blobs back
+  /// the multi-tenant model-zoo serving layer (core::StickFleet /
+  /// serve::ZooServer), where per-model graph sizes drive swap costs.
+  /// Throws std::invalid_argument for unknown names.
+  static std::shared_ptr<const ModelBundle> zoo_reference(
+      const std::string& name);
+
   /// Functional TinyGoogLeNet bundle: MSRA-initialised features with the
   /// final classifier template-fitted against `data`'s class prototypes.
   /// Drives the error-rate figures.

@@ -66,8 +66,35 @@ void VpuTarget::open_all() {
 
 void VpuTarget::close_all() {
   if (mvnc::host_generation() == host_generation_) {
-    for (void* g : graph_handles_) {
-      if (g) mvnc::mvncDeallocateGraph(g);
+    for (std::size_t d = 0; d < graph_handles_.size(); ++d) {
+      void* g = graph_handles_[d];
+      if (!g) continue;
+      // Drain before deallocate on every exit path: a stick quarantined
+      // after watchdog timeouts can still hold queued results here (its
+      // images were replayed elsewhere), and deallocating over them is
+      // the verifier's undrained-at-dealloc class. Lift the watchdog so
+      // the drain itself cannot time out, and consult pending_results —
+      // probing GetResult with nothing outstanding is a violation too.
+      mvnc::set_watchdog(g, std::numeric_limits<double>::infinity());
+      int drained = 0;
+      for (int left = mvnc::pending_results(g); left > 0; --left) {
+        void* out = nullptr;
+        unsigned int out_len = 0;
+        if (mvnc::mvncGetResult(g, &out, &out_len, nullptr) !=
+            mvnc::MVNC_OK) {
+          break;  // detached/unplugged stick: its queue died with it
+        }
+        ++drained;
+      }
+      if (drained > 0) {
+        // Cold path only: fault-free teardowns must not materialise
+        // health instruments (byte-identity guard in test_faults).
+        util::metrics()
+            .counter("core.health.dev" + std::to_string(d) +
+                     ".shutdown_drains")
+            .add(static_cast<std::uint64_t>(drained));
+      }
+      mvnc::mvncDeallocateGraph(g);
     }
     for (void* d : device_handles_) mvnc::mvncCloseDevice(d);
   }

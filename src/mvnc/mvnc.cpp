@@ -309,9 +309,10 @@ mvncStatus mvncCloseDevice(void* deviceHandle) {
   return MVNC_OK;
 }
 
-mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
+mvncStatus allocate_graph_at(void* deviceHandle, void** graphHandle,
                              const void* graphFile,
-                             unsigned int graphFileLength) {
+                             unsigned int graphFileLength,
+                             double host_time_s) {
   if (!graphHandle || !graphFile || graphFileLength == 0) {
     return MVNC_INVALID_PARAMETERS;
   }
@@ -339,7 +340,8 @@ mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
   auto g = std::make_shared<GraphState>();
   g->dev = d;
   try {
-    const double ready = d->device->allocate_graph(package.compiled, 0.0);
+    const double ready =
+        d->device->allocate_graph(package.compiled, host_time_s);
     g->host_clock = ready;
   } catch (const ncs::OutOfDeviceMemory&) {
     return MVNC_OUT_OF_MEMORY;
@@ -362,6 +364,13 @@ mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
                                 d->device->config().fifo_depth, MVNC_OK,
                                 raw->host_clock);
   return MVNC_OK;
+}
+
+mvncStatus mvncAllocateGraph(void* deviceHandle, void** graphHandle,
+                             const void* graphFile,
+                             unsigned int graphFileLength) {
+  return allocate_graph_at(deviceHandle, graphHandle, graphFile,
+                           graphFileLength, 0.0);
 }
 
 mvncStatus mvncDeallocateGraph(void* graphHandle) {

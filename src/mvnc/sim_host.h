@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "check/protocol.h"
+#include "mvnc/mvnc.h"
 #include "ncs/device.h"
 #include "ncs/usb.h"
 #include "nn/executor.h"
@@ -79,6 +80,17 @@ std::optional<ncs::InferenceTicket> last_ticket(void* graphHandle);
 /// Advance the handle's host-time cursor to at least `t` (used by the
 /// multi-VPU runner to model thread spawn staggering).
 bool set_host_time(void* graphHandle, double t);
+
+/// mvncAllocateGraph with an explicit host-side epoch: the blob transfer
+/// chains on max(host_time_s, the device's allocation cursor) instead of
+/// the cursor alone. Used by graph-swapping callers (core::StickFleet)
+/// so a swap allocated after inferences ran lands *after* them on the
+/// device timeline — the allocation cursor only advances on allocations
+/// and would otherwise time-travel the swap behind retired work.
+mvncStatus allocate_graph_at(void* deviceHandle, void** graphHandle,
+                             const void* graphFile,
+                             unsigned int graphFileLength,
+                             double host_time_s);
 
 /// Current host-time cursor of the handle (simulated seconds).
 std::optional<double> host_time(void* graphHandle);

@@ -26,8 +26,15 @@ using ncsw::fp16::half;
 
 int plan_chunks(const ExecCtx& ctx, std::int64_t total) {
   if (!ctx.pool || ctx.threads <= 1 || total <= 1) return 1;
-  return static_cast<int>(
-      std::min<std::int64_t>(ctx.threads, total));
+  std::int64_t limit = ctx.threads;
+  if (ctx.fast) {
+    // Affinity routing addresses chunk t to worker t (submit_to throws
+    // past the pool), so the fast tier never plans more chunks than the
+    // pinned pool has workers.
+    limit = std::min<std::int64_t>(
+        limit, static_cast<std::int64_t>(ctx.pool->size()));
+  }
+  return static_cast<int>(std::min<std::int64_t>(limit, total));
 }
 
 template <typename Fn>

@@ -24,6 +24,15 @@ const char* loop_event_kind_name(LoopEventKind kind) {
   return "?";
 }
 
+const char* slo_class_name(SloClass c) {
+  switch (c) {
+    case SloClass::kInteractive: return "interactive";
+    case SloClass::kStandard: return "standard";
+    case SloClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
 const char* outcome_name(Outcome o) {
   switch (o) {
     case Outcome::kCompleted: return "completed";
@@ -257,6 +266,7 @@ void Session::mark_dropped(std::size_t idx, DropReason reason) {
 void Session::drop_head() {
   const std::size_t idx = pending_.front();
   pending_.pop_front();
+  --queued_by_class_[static_cast<int>(report_.records[idx].request.slo)];
   mark_dropped(idx, DropReason::kDeadline);
   auto& tr = util::tracer();
   if (tr.enabled()) {
@@ -305,6 +315,7 @@ void Session::dispatch(int which, std::size_t n) {
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t idx = pending_.front();
     pending_.pop_front();
+    --queued_by_class_[static_cast<int>(report_.records[idx].request.slo)];
     report_.records[idx].dispatch_s = now_;
     report_.records[idx].target = which;
     fl.inflight.push_back(idx);
@@ -514,7 +525,9 @@ bool Session::offer(const Request& req, double now, bool force) {
   slot_claim_s_.push_back(now_);
   ++report_.offered;
   m_offered_->add(1);
-  if (!force && pending_.size() >= config_.queue_capacity) {
+  const auto slo = static_cast<int>(req.slo);
+  if (!force && (pending_.size() >= config_.queue_capacity ||
+                 queued_by_class_[slo] >= config_.class_quota[slo])) {
     RequestRecord& r = report_.records[idx];
     r.outcome = Outcome::kRejected;
     r.complete_s = now_;
@@ -531,6 +544,7 @@ bool Session::offer(const Request& req, double now, bool force) {
     return false;
   }
   pending_.push_back(idx);
+  ++queued_by_class_[slo];
   ++report_.accepted;
   m_accepted_->add(1);
   alloc_slot(idx);
@@ -624,6 +638,7 @@ std::vector<Request> Session::evict_all(double now) {
   while (!pending_.empty()) {
     const std::size_t idx = pending_.front();
     pending_.pop_front();
+    --queued_by_class_[static_cast<int>(report_.records[idx].request.slo)];
     mark_dropped(idx, DropReason::kFailover);
     evicted.push_back(report_.records[idx].request);
     if (tr.enabled()) emit_request_spans(idx, now_);
@@ -659,6 +674,26 @@ ServeReport Session::finish() {
     report_.p50_ms = util::percentile(latencies, 50.0);
     report_.p95_ms = util::percentile(latencies, 95.0);
     report_.p99_ms = util::percentile(std::move(latencies), 99.0);
+    // Per-SloClass rollups from the same records; each class partitions
+    // and the classes sum to the session totals by construction.
+    std::array<std::vector<double>, kSloClassCount> by_class;
+    for (const auto& rec : records) {
+      ClassStats& cs = report_.classes[static_cast<int>(rec.request.slo)];
+      ++cs.offered;
+      switch (rec.outcome) {
+        case Outcome::kCompleted:
+          ++cs.completed;
+          by_class[static_cast<int>(rec.request.slo)].push_back(
+              rec.latency_s() * 1e3);
+          break;
+        case Outcome::kRejected: ++cs.rejected; break;
+        case Outcome::kDropped: ++cs.dropped; break;
+      }
+    }
+    for (int c = 0; c < kSloClassCount; ++c) {
+      report_.classes[c].p99_ms =
+          util::percentile(std::move(by_class[c]), 99.0);
+    }
   }
   report_.targets.reserve(states_.size());
   for (const auto& ts : states_) report_.targets.push_back(ts.stats);
@@ -677,6 +712,12 @@ ServeReport Session::finish() {
 
 bool Session::has_capacity() const noexcept {
   return pending_.size() < config_.queue_capacity;
+}
+
+bool Session::has_capacity_for(SloClass slo) const noexcept {
+  const auto c = static_cast<int>(slo);
+  return pending_.size() < config_.queue_capacity &&
+         queued_by_class_[c] < config_.class_quota[c];
 }
 
 std::size_t Session::inflight() const noexcept {

@@ -42,6 +42,7 @@
 // lane nest.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -58,12 +59,28 @@
 
 namespace ncsw::serve {
 
+/// Service-level objective class of a request. Multi-tenant serving
+/// (serve::ZooServer, the cluster router) differentiates admission and
+/// hedging by class; the plain Server treats every class alike unless
+/// ServerConfig::class_quota says otherwise.
+enum class SloClass : int {
+  kInteractive = 0,  ///< latency-sensitive; hedged, dispatched first
+  kStandard = 1,     ///< the default
+  kBatch = 2,        ///< throughput work; never hedged, evicted first
+};
+
+constexpr int kSloClassCount = 3;
+
+/// Stable lowercase name ("interactive", "standard", "batch").
+const char* slo_class_name(SloClass c);
+
 /// One inference request entering the frontend (one image of work).
 struct Request {
   std::int64_t id = 0;
   double arrival_s = 0.0;  ///< simulated arrival time (non-decreasing)
   int label = -1;          ///< optional ground-truth passthrough
   std::string tag;         ///< stable identifier for traces / joins
+  SloClass slo = SloClass::kStandard;  ///< admission/hedging class
 };
 
 /// What became of a request.
@@ -158,6 +175,15 @@ struct ServerConfig {
   /// Emit per-request slot-lane spans when the tracer is armed (batch
   /// spans and queue instants are always emitted when it is).
   bool trace_requests = true;
+  /// Per-class admission bound: at most this many queued requests of
+  /// each SloClass (indexed by the enum). The default (unbounded) keeps
+  /// admission byte-identical to the class-blind frontend; a zoo/cluster
+  /// deployment caps kBatch below queue_capacity so bulk tenants cannot
+  /// starve interactive ones out of the shared queue.
+  std::array<std::size_t, kSloClassCount> class_quota = {
+      std::numeric_limits<std::size_t>::max(),
+      std::numeric_limits<std::size_t>::max(),
+      std::numeric_limits<std::size_t>::max()};
   /// In-flight window applied to every target at the start of a run
   /// (Target::set_inflight_window): how many submitted batches may
   /// overlap per target. 0 = leave each target's own window untouched
@@ -188,6 +214,16 @@ struct TargetStats {
   int sticks_dead = 0;
 };
 
+/// Per-SloClass rollup inside a ServeReport (computed from the request
+/// records at finish(); zero for classes the trace never used).
+struct ClassStats {
+  std::int64_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t dropped = 0;
+  double p99_ms = 0.0;  ///< completed requests of this class only
+};
+
 /// Result of serving one arrival trace.
 struct ServeReport {
   std::int64_t offered = 0;
@@ -204,6 +240,10 @@ struct ServeReport {
   util::RunningStats latency_ms;  ///< completed requests only
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   std::size_t max_queue_depth = 0;
+  /// Per-SloClass accounting, indexed by the enum. Each class partitions
+  /// (offered == completed + rejected + dropped) and the classes sum to
+  /// the session totals.
+  std::array<ClassStats, kSloClassCount> classes{};
   std::vector<TargetStats> targets;
   /// Per-request log in arrival order (one entry per offered request).
   std::vector<RequestRecord> records;
@@ -312,6 +352,10 @@ class Session {
   ServeReport finish();
 
   bool has_capacity() const noexcept;
+  /// Room for one more request of class `slo`: queue capacity AND the
+  /// class's quota both have headroom. With default quotas this is
+  /// exactly has_capacity() — the router's class-aware admission probe.
+  bool has_capacity_for(SloClass slo) const noexcept;
   std::size_t queue_depth() const noexcept { return pending_.size(); }
   std::size_t inflight() const noexcept;  ///< requests inside tickets
   bool idle() const noexcept;             ///< nothing queued or in flight
@@ -346,6 +390,8 @@ class Session {
   std::vector<TargetState> states_;
   ServeReport report_;
   std::deque<std::size_t> pending_;
+  /// Queued requests per SloClass (class_quota admission bookkeeping).
+  std::array<std::size_t, kSloClassCount> queued_by_class_{};
   double now_ = 0.0;
 
   util::Counter* m_offered_ = nullptr;

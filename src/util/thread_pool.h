@@ -17,6 +17,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,11 +59,19 @@ class ThreadPool {
 
   /// Enqueue a task on worker `worker`'s own queue: it runs on that
   /// worker (and, when the pool is pinned, on that worker's core), FIFO
-  /// with respect to other tasks submitted to the same worker.
+  /// with respect to other tasks submitted to the same worker. Throws
+  /// std::out_of_range when `worker` >= size(): affinity routing is
+  /// explicit addressing, and silently wrapping a bad index onto another
+  /// worker's queue would defeat the placement the caller asked for.
   template <typename F>
   auto submit_to(std::size_t worker, F&& f)
       -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
+    if (worker >= workers_.size()) {
+      throw std::out_of_range("ThreadPool::submit_to: worker " +
+                              std::to_string(worker) + " out of range (pool " +
+                              std::to_string(workers_.size()) + " workers)");
+    }
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
@@ -71,8 +80,7 @@ class ThreadPool {
       if (stopping_) {
         throw std::runtime_error("ThreadPool::submit_to after shutdown");
       }
-      worker_queues_[worker % workers_.size()].emplace(
-          [task] { (*task)(); });
+      worker_queues_[worker].emplace([task] { (*task)(); });
     }
     // Per-worker wakeup would need one condition variable per worker;
     // the pools here are small, so a broadcast is cheaper than the

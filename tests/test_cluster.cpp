@@ -259,6 +259,55 @@ TEST(Cluster, WedgeTriggersHedgesAndQuarantine) {
   EXPECT_EQ(completed_records, r.completed);
 }
 
+TEST(Cluster, ClassRollupsPartitionTheClusterTotals) {
+  FakeNode n0(0, 0.005), n1(1, 0.005);
+  ClusterConfig cfg;
+  cfg.models = 8;
+  cfg.node.queue_capacity = 8;
+  Cluster cl({n0.targets(), n1.targets()}, cfg);
+  auto trace = poisson_trace(200, 300.0, 13);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].slo = static_cast<serve::SloClass>(i % serve::kSloClassCount);
+  }
+  const auto r = cl.run(trace);
+  std::int64_t offered = 0, completed = 0;
+  for (const auto& c : r.classes) {
+    EXPECT_EQ(c.offered, c.completed + c.rejected + c.dropped);
+    offered += c.offered;
+    completed += c.completed;
+  }
+  EXPECT_EQ(offered, r.offered);
+  EXPECT_EQ(completed, r.completed);
+  EXPECT_GT(completed, 0);
+}
+
+TEST(Cluster, BatchClassNeverHedgesUnderTheDefaultGate) {
+  // Same wedge scenario as above, but every request is kBatch: with
+  // hedge_max_class = kStandard (the default) no hedge may fire — batch
+  // work rides out the wedge on the replay path instead.
+  FakeNode n0(0, 0.005), n1(1, 0.005);
+  ClusterConfig cfg;
+  cfg.models = 8;
+  cfg.node.batch_timeout_s = 0.01;
+  cfg.hedge_slack_s = 0.02;
+  cfg.faults.add(0, sim::FaultKind::kNodeWedge, 0.2, 0.6);
+  Cluster cl({n0.targets(), n1.targets()}, cfg);
+  auto trace = poisson_trace(200, 250.0, 9);
+  for (auto& req : trace) req.slo = serve::SloClass::kBatch;
+  const auto r = cl.run(trace);
+  EXPECT_EQ(r.node_wedges, 1);
+  EXPECT_EQ(r.requests_hedged, 0);
+  EXPECT_EQ(r.requests_lost, 0);
+  EXPECT_EQ(r.completed + r.rejected + r.dropped_deadline, r.offered);
+
+  // Raising the gate to kBatch restores hedging for the same trace.
+  cfg.hedge_max_class = serve::SloClass::kBatch;
+  FakeNode m0(0, 0.005), m1(1, 0.005);
+  Cluster cl2({m0.targets(), m1.targets()}, cfg);
+  const auto r2 = cl2.run(trace);
+  EXPECT_GT(r2.requests_hedged, 0);
+}
+
 TEST(Cluster, ChaosReplayIsByteDeterministic) {
   auto run_once = [] {
     FakeNode n0(0, 0.004), n1(1, 0.006), n2(2, 0.005);

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/protocol.h"
 #include "core/health.h"
 #include "core/model.h"
 #include "core/vpu_target.h"
@@ -580,6 +581,37 @@ TEST(SelfHealing, FaultFreeRunCreatesNoHealthInstrumentsOrTraceEvents) {
   EXPECT_EQ(trace_json.find("ncs.fault"), std::string::npos);
   tr.set_enabled(false);
   tr.reset();
+}
+
+TEST(SelfHealing, TeardownDrainsQueuedResultsBeforeDealloc) {
+  // Regression: a stick whose GetResult stalls past the watchdog gets
+  // quarantined with the inference still queued; its images are replayed
+  // on the survivors and the run finishes. Destroying the target then
+  // used to DeallocateGraph straight over the queued result — the
+  // verifier's undrained-at-dealloc class. close_all must drain first.
+  auto& v = ncsw::check::verifier();
+  v.configure(ncsw::check::CheckMode::kLog);
+  const auto drains_before =
+      util::metrics().counter("core.health.dev0.shutdown_drains").value();
+  {
+    core::VpuTargetConfig cfg;
+    cfg.devices = 2;
+    // Pin log mode on the host too (host_reset re-resolves kDefault, so
+    // $NCSW_CHECK=strict would otherwise abort on the fault-recovery
+    // warnings this scenario intentionally provokes before teardown).
+    cfg.check = ncsw::check::CheckMode::kLog;
+    cfg.health.watchdog_s = 0.25;
+    // Stall stick 0's result delivery for the whole run.
+    cfg.faults.add(0, FaultKind::kGetTimeout, 0.0, 600.0);
+    core::VpuTarget vpu(reference(), cfg);
+    const auto run = vpu.run_timed(24, 2);
+    EXPECT_EQ(run.images, 24);
+    EXPECT_EQ(run.images_lost, 0);
+  }  // ~VpuTarget: close_all must drain, then deallocate
+  EXPECT_EQ(v.count(ncsw::check::ViolationKind::kUndrainedAtDealloc), 0u);
+  EXPECT_GT(util::metrics().counter("core.health.dev0.shutdown_drains").value(),
+            drains_before);
+  v.configure(ncsw::check::CheckMode::kDefault);
 }
 
 TEST(SelfHealing, TransientStormLosesNoImages) {

@@ -333,6 +333,82 @@ TEST(Server, QuarantineRebalancesWithZeroLostImages) {
 // The serve trace must satisfy every offline invariant (monotonic clock,
 // nested-or-disjoint spans per lane) with the runtime verifier in strict
 // mode — the same bar the CI smoke holds serve_loadgen to.
+TEST(Server, ClassQuotaCapsOneClassWithoutTouchingOthers) {
+  FakeTarget t("T", 0.01, 4);
+  ServerConfig cfg;
+  cfg.queue_capacity = 32;
+  cfg.class_quota[static_cast<int>(serve::SloClass::kBatch)] = 2;
+  Server server({&t}, cfg);
+  auto reqs = burst_at(0.0, 12);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].slo = i < 8 ? serve::SloClass::kBatch
+                        : serve::SloClass::kInteractive;
+  }
+  const auto report = server.run(reqs);
+  const auto& batch = report.classes[static_cast<int>(serve::SloClass::kBatch)];
+  const auto& inter =
+      report.classes[static_cast<int>(serve::SloClass::kInteractive)];
+  // The burst lands at one instant: only 2 batch requests fit the quota,
+  // the other 6 bounce; interactive admission is untouched.
+  EXPECT_EQ(batch.offered, 8);
+  EXPECT_EQ(batch.rejected, 6);
+  EXPECT_EQ(batch.completed, 2);
+  EXPECT_EQ(inter.offered, 4);
+  EXPECT_EQ(inter.rejected, 0);
+  EXPECT_EQ(inter.completed, 4);
+}
+
+TEST(Server, ClassRollupsPartitionTheSessionTotals) {
+  FakeTarget t("T", 0.02, 2);
+  ServerConfig cfg;
+  cfg.queue_capacity = 4;
+  Server server({&t}, cfg);
+  auto reqs = burst_at(0.0, 9);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].slo = static_cast<serve::SloClass>(i % serve::kSloClassCount);
+  }
+  const auto report = server.run(reqs);
+  std::int64_t offered = 0, completed = 0, rejected = 0, dropped = 0;
+  for (const auto& c : report.classes) {
+    EXPECT_EQ(c.offered, c.completed + c.rejected + c.dropped);
+    offered += c.offered;
+    completed += c.completed;
+    rejected += c.rejected;
+    dropped += c.dropped;
+  }
+  EXPECT_EQ(offered, report.offered);
+  EXPECT_EQ(completed, report.completed);
+  EXPECT_EQ(rejected, report.rejected);
+  EXPECT_EQ(dropped, report.dropped);
+  const auto& std_class =
+      report.classes[static_cast<int>(serve::SloClass::kStandard)];
+  EXPECT_GT(std_class.completed, 0);
+  EXPECT_GT(std_class.p99_ms, 0.0);
+}
+
+TEST(Server, DefaultQuotasKeepClassBlindAccountingIdentical) {
+  // The same trace with and without SloClass stamps must produce the
+  // same aggregate outcome: unbounded quotas are class-blind.
+  auto run_with = [](bool stamp) {
+    FakeTarget t("T", 0.01, 4);
+    ServerConfig cfg;
+    cfg.queue_capacity = 8;
+    Server server({&t}, cfg);
+    auto reqs = burst_at(0.0, 20);
+    if (stamp) {
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].slo = static_cast<serve::SloClass>(i % serve::kSloClassCount);
+      }
+    }
+    return server.run(reqs);
+  };
+  const auto plain = run_with(false);
+  const auto stamped = run_with(true);
+  EXPECT_EQ(plain.completed, stamped.completed);
+  EXPECT_EQ(plain.rejected, stamped.rejected);
+  EXPECT_DOUBLE_EQ(plain.last_complete_s, stamped.last_complete_s);
+}
+
 TEST(Server, StrictTraceIsLintClean) {
   auto& tracer = util::tracer();
   tracer.reset();

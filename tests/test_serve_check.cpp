@@ -105,6 +105,50 @@ TEST(ServeCheckNames, AreStableSlugs) {
                "ledger-conservation");
   EXPECT_STREQ(serve_violation_name(ServeViolationKind::kNegativeLive),
                "negative-live");
+  EXPECT_STREQ(serve_violation_name(ServeViolationKind::kSwapWhileInflight),
+               "swap-while-inflight");
+  EXPECT_STREQ(serve_violation_name(ServeViolationKind::kWrongModelDispatch),
+               "wrong-model-dispatch");
+  EXPECT_STREQ(
+      serve_violation_name(ServeViolationKind::kResidencyConservation),
+      "residency-conservation");
+}
+
+// ---- graph residency -------------------------------------------------------
+
+TEST_F(ServeCheckStrict, SwapWhileInflightTripsOnOutstandingTickets) {
+  auto& sv = serve_verifier();
+  // A drained stick may swap freely.
+  sv.on_swap_begin("stick0", "alexnet", "tiny", 0, 1.0);
+  EXPECT_EQ(sv.count(ServeViolationKind::kSwapWhileInflight), 0u);
+  // Any outstanding ticket at the swap decision is a contract breach.
+  EXPECT_THROW(sv.on_swap_begin("stick0", "alexnet", "tiny", 2, 2.0),
+               ServeViolationError);
+  EXPECT_EQ(sv.count(ServeViolationKind::kSwapWhileInflight), 1u);
+}
+
+TEST_F(ServeCheckStrict, WrongModelDispatchTripsOnResidencyMismatch) {
+  auto& sv = serve_verifier();
+  sv.on_zoo_dispatch("stick1", "googlenet", "googlenet", 1.0);
+  EXPECT_EQ(sv.count(ServeViolationKind::kWrongModelDispatch), 0u);
+  EXPECT_THROW(sv.on_zoo_dispatch("stick1", "googlenet", "alexnet", 2.0),
+               ServeViolationError);
+  EXPECT_EQ(sv.count(ServeViolationKind::kWrongModelDispatch), 1u);
+}
+
+TEST_F(ServeCheckStrict, ZooFinishChecksPartitionAndResidencyBalance) {
+  auto& sv = serve_verifier();
+  // 10 offered = 6 completed + 3 rejected + 1 dropped; 5 installs - 3
+  // evicts = 2 resident: both identities hold.
+  sv.on_zoo_finish("zoo", 10, 6, 3, 1, 5, 3, 2, 9.0);
+  EXPECT_EQ(sv.count(ServeViolationKind::kResidencyConservation), 0u);
+  // Requests that do not partition.
+  EXPECT_THROW(sv.on_zoo_finish("zoo", 10, 6, 3, 0, 5, 3, 2, 9.0),
+               ServeViolationError);
+  // Installs/evicts that do not balance the resident count.
+  EXPECT_THROW(sv.on_zoo_finish("zoo", 10, 6, 3, 1, 5, 3, 1, 9.0),
+               ServeViolationError);
+  EXPECT_EQ(sv.count(ServeViolationKind::kResidencyConservation), 2u);
 }
 
 // ---- ticket lifecycle ------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -170,13 +171,14 @@ TEST(ThreadPool, SubmitToIsFifoPerWorker) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(ThreadPool, SubmitToWrapsWorkerIndex) {
+TEST(ThreadPool, SubmitToOutOfRangeWorkerThrows) {
   ThreadPool pool(2);
-  const auto direct =
-      pool.submit_to(0, [] { return std::this_thread::get_id(); }).get();
-  const auto wrapped =
-      pool.submit_to(2, [] { return std::this_thread::get_id(); }).get();
-  EXPECT_EQ(direct, wrapped);
+  // Affinity routing is explicit addressing: an index past the pool is a
+  // caller bug, not a request to wrap onto some other worker's queue.
+  EXPECT_THROW(pool.submit_to(2, [] { return 1; }), std::out_of_range);
+  EXPECT_THROW(pool.submit_to(1000, [] { return 1; }), std::out_of_range);
+  // In-range submissions still work after the rejected ones.
+  EXPECT_EQ(pool.submit_to(1, [] { return 7; }).get(), 7);
 }
 
 TEST(ThreadPool, UnpinnedPoolReportsNoLayout) {

@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/application.h"
+#include "core/model.h"
+#include "core/stick_fleet.h"
+#include "dataset/synthetic.h"
 #include "graphc/compiler.h"
 #include "myriad/myriad.h"
 #include "nn/executor.h"
@@ -128,6 +136,81 @@ TEST(Zoo, RelativeSpeedOrderingOnTheStick) {
   EXPECT_LT(squeezenet, alexnet);
   EXPECT_LT(squeezenet, googlenet);
   EXPECT_LT(alexnet, googlenet * 1.1);  // AlexNet near GoogLeNet (FC DMA)
+}
+
+// ---- concurrent tenants through the fleet ---------------------------------
+
+/// FNV-1a over every prediction's label and full probability bits: any
+/// numerical deviation between two classify passes changes the digest.
+std::uint64_t digest_of(const std::vector<ncsw::core::Prediction>& preds) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto fold = [&](const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& p : preds) {
+    fold(&p.label, sizeof(p.label));
+    fold(p.probs.data(), p.probs.size() * sizeof(float));
+  }
+  return h;
+}
+
+TEST(ZooTenants, InterleavedTenantsMatchSoloRunsByteForByte) {
+  ncsw::dataset::DatasetConfig dc;
+  dc.num_classes = 6;
+  ncsw::dataset::SyntheticImageNet data(dc);
+  // Two tenants: same architecture, different weights — so a swap that
+  // leaked one tenant's state into the other's outputs must change a
+  // digest. The compiled blob carries the weights, so every swap-in
+  // reattaches the right functional payload.
+  std::vector<ncsw::core::ZooModel> zoo;
+  zoo.push_back(
+      {"tenant-a", ncsw::core::ModelBundle::tiny_functional(data, {32, 6},
+                                                            0x111ULL)});
+  zoo.push_back(
+      {"tenant-b", ncsw::core::ModelBundle::tiny_functional(data, {32, 6},
+                                                            0x222ULL)});
+
+  ncsw::core::Preprocessor prep;
+  prep.input_size = 32;
+  prep.means = data.means();
+  std::vector<ncsw::tensor::TensorF> inputs;
+  for (int c = 0; c < 6; ++c) inputs.push_back(prep(data.sample(0, c).image));
+
+  ncsw::core::StickFleetConfig cfg;
+  cfg.devices = 1;
+
+  // Solo passes: each tenant alone on a fresh fleet.
+  std::uint64_t solo_a = 0, solo_b = 0;
+  {
+    ncsw::core::StickFleet fleet(zoo, cfg);
+    solo_a = digest_of(fleet.stick(0).classify(inputs));
+  }
+  {
+    ncsw::core::StickFleet fleet(zoo, cfg);
+    fleet.swap_to(0, 1, 0.0);
+    solo_b = digest_of(fleet.stick(0).classify(inputs));
+  }
+  ASSERT_NE(solo_a, solo_b);  // the tenants are actually distinct
+
+  // Interleaved: tenants alternate on one stick through repeated swaps;
+  // every pass must reproduce its solo digest exactly.
+  ncsw::core::StickFleet fleet(zoo, cfg);
+  double now = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    now = fleet.swap_to(0, 0, now);
+    EXPECT_EQ(digest_of(fleet.stick(0).classify(inputs)), solo_a)
+        << "tenant-a, round " << round;
+    now = fleet.swap_to(0, 1, now);
+    EXPECT_EQ(digest_of(fleet.stick(0).classify(inputs)), solo_b)
+        << "tenant-b, round " << round;
+  }
+  // Round 0's swap to tenant-a is a no-op (initially resident): 5 real
+  // swaps across 3 rounds.
+  EXPECT_EQ(fleet.swaps(), 5);
 }
 
 }  // namespace
